@@ -1,0 +1,7 @@
+"""Make the in-tree package and the shared harness importable."""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+sys.path.insert(0, os.path.dirname(__file__))

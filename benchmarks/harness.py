@@ -1,0 +1,62 @@
+"""Shared infrastructure for the paper-reproduction benchmarks.
+
+Each benchmark regenerates one of the paper's quantitative claims
+(there are no numbered tables; EXPERIMENTS.md maps claims to benches).
+Benches print paper-vs-measured rows and assert the *shape* — who wins
+and by roughly what factor — not the absolute numbers, since our
+substrate is a simulator rather than Titan hardware.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.pipeline import CompilationResult, CompilerOptions, compile_c
+from repro.titan.config import TitanConfig
+from repro.titan.simulator import TitanReport, TitanSimulator
+
+O0 = CompilerOptions(inline=False, scalar_opt=False, vectorize=False,
+                     reg_pipeline=False, strength_reduction=False)
+SCALAR_OPT_ONLY = CompilerOptions(vectorize=False, reg_pipeline=False,
+                                  strength_reduction=False)
+FULL = CompilerOptions()
+
+
+def compile_and_simulate(source: str, entry: str,
+                         options: CompilerOptions = FULL,
+                         config: Optional[TitanConfig] = None,
+                         arrays: Optional[Dict[str, Sequence]] = None,
+                         scalars: Optional[Dict[str, float]] = None,
+                         use_scheduler: Optional[bool] = None
+                         ) -> TitanReport:
+    result = compile_c(source, options)
+    if use_scheduler is None:
+        use_scheduler = options.reg_pipeline \
+            or options.strength_reduction
+    sim = TitanSimulator(result.program, config or TitanConfig(),
+                         use_scheduler=use_scheduler,
+                         schedules=result.schedules or None)
+    for name, values in (arrays or {}).items():
+        sim.set_global_array(name, values)
+    for name, value in (scalars or {}).items():
+        sim.set_global_scalar(name, value)
+    return sim.run(entry)
+
+
+@dataclass
+class Row:
+    label: str
+    paper: str
+    measured: str
+    ok: bool = True
+
+
+def print_table(title: str, rows: List[Row]) -> None:
+    width = max(len(r.label) for r in rows) + 2
+    print(f"\n=== {title} ===")
+    print(f"{'':{width}s} {'paper':>18s} {'measured':>18s}")
+    for row in rows:
+        mark = "" if row.ok else "   <-- OUT OF SHAPE"
+        print(f"{row.label:{width}s} {row.paper:>18s} "
+              f"{row.measured:>18s}{mark}")

@@ -1,0 +1,59 @@
+"""E2 — the section 9 daxpy example: 12× on a two-processor Titan.
+
+"On a two processor Titan, this code executes 12 times faster than the
+scalar version of the same routine."
+"""
+
+from harness import FULL, O0, Row, compile_and_simulate, print_table
+from repro.titan.config import TitanConfig
+from repro.workloads import blas
+
+N = 2048
+
+
+def _measure(options, processors, use_scheduler):
+    return compile_and_simulate(
+        blas.caller_program(n=N), "bench", options=options,
+        config=TitanConfig(processors=processors),
+        arrays={"b": [1.0] * N, "c": [2.0] * N},
+        use_scheduler=use_scheduler)
+
+
+def test_e2_daxpy_two_processor_speedup(benchmark):
+    scalar = _measure(O0, processors=2, use_scheduler=False)
+    optimized = benchmark(
+        lambda: _measure(FULL, processors=2, use_scheduler=True))
+    speedup = optimized.speedup_over(scalar)
+    rows = [
+        Row("vector+parallel vs scalar (2 CPUs)", "12x",
+            f"{speedup:.1f}x", 8 <= speedup <= 16),
+    ]
+    print_table("E2: section 9 inlined daxpy", rows)
+    assert all(r.ok for r in rows)
+
+
+def test_e2_requires_the_whole_pipeline(benchmark):
+    """Each leg of the pipeline contributes: inline alone, vector
+    alone (which cannot fire without inline), and the combination."""
+    from repro.pipeline import CompilerOptions
+
+    scalar = _measure(O0, 2, False)
+    no_inline = _measure(CompilerOptions(inline=False), 2, True)
+    no_vector = _measure(CompilerOptions(vectorize=False), 2, True)
+    full = benchmark(lambda: _measure(FULL, 2, True))
+
+    rows = [
+        Row("no inlining (aliasing blocks vector)", "~scalar",
+            f"{no_inline.speedup_over(scalar):.1f}x",
+            no_inline.speedup_over(scalar)
+            < full.speedup_over(scalar) / 2),
+        Row("inline, no vectorize", "partial",
+            f"{no_vector.speedup_over(scalar):.1f}x",
+            no_vector.speedup_over(scalar)
+            < full.speedup_over(scalar)),
+        Row("full pipeline", "12x",
+            f"{full.speedup_over(scalar):.1f}x",
+            8 <= full.speedup_over(scalar) <= 16),
+    ]
+    print_table("E2b: pipeline legs", rows)
+    assert all(r.ok for r in rows)

@@ -1,0 +1,73 @@
+"""E3 — the section 9 stage-by-stage compilation transcript.
+
+Regenerates the paper's worked example at every pipeline stage and
+checks the structural landmarks of each printed form.
+"""
+
+import pytest
+
+from repro.pipeline import CompilerOptions, TitanCompiler
+
+DAXPY_MAIN = """
+float a[100], b[100], c[100];
+void daxpy(float *x, float *y, float *z, float alpha, int n)
+{
+    if (n <= 0)
+        return;
+    if (alpha == 0)
+        return;
+    for (; n; n--)
+        *x++ = *y++ + alpha * *z++;
+}
+int main(void)
+{
+    daxpy(a, b, c, 1.0, 100);
+    return 0;
+}
+"""
+
+EXPECTED_LANDMARKS = {
+    # stage -> fragments the paper's transcript shows at that point
+    "front-end": ["while (", "temp_", "+ 4"],
+    "inline": ["in_x", "in_y", "in_z", "in_alpha", "in_n", "lb_"],
+    "scalar-opt": ["do "],
+    "vectorize": ["do parallel", "min(32", "n="],
+}
+
+
+def _compile_with_stages():
+    compiler = TitanCompiler(CompilerOptions(dump_stages=True))
+    return compiler.compile(DAXPY_MAIN)
+
+
+@pytest.mark.parametrize("stage", sorted(EXPECTED_LANDMARKS))
+def test_e3_stage_landmarks(stage, benchmark):
+    result = benchmark(_compile_with_stages)
+    text = result.stage_text(stage)
+    for fragment in EXPECTED_LANDMARKS[stage]:
+        assert fragment in text, (
+            f"stage {stage!r} missing landmark {fragment!r}")
+
+
+def test_e3_print_full_transcript(benchmark):
+    """Regenerate and print the complete section 9 transcript."""
+    result = benchmark(_compile_with_stages)
+    print("\n=== E3: section 9 compilation transcript ===")
+    for dump in result.stages:
+        main_part = dump.text[dump.text.index("int main"):] \
+            if "int main" in dump.text else dump.text
+        print(f"\n--- after {dump.stage} ---")
+        print(main_part)
+
+
+def test_e3_guards_fold_in_order(benchmark):
+    """The two guards (n <= 0, alpha == 0) are removed by constant
+    propagation only after inlining reveals the arguments."""
+    result = benchmark(_compile_with_stages)
+    inline_text = result.stage_text("inline")
+    final_text = result.stage_text("final")
+    main_inline = inline_text[inline_text.index("int main"):]
+    main_final = final_text[final_text.index("int main"):]
+    assert "if" in main_inline       # guards present after inlining
+    assert "if" not in main_final    # gone after constprop + DCE
+    assert "goto" not in main_final  # exit label collapsed too

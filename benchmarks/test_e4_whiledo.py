@@ -1,0 +1,67 @@
+"""E4 — while→DO conversion coverage over the C-idiom loop suite.
+
+Section 5.2 calls the conversion "essential to success" because the C
+front end lowers every `for` to a `while`.  The suite in
+repro.workloads.idioms covers the idioms the section enumerates (bounds
+changing mid-loop, branches into loops, volatile spins, linked lists);
+this bench reports achieved coverage and checks the strict-mode
+ablation.
+"""
+
+from harness import Row, print_table
+from repro.frontend.lower import compile_to_il
+from repro.opt.while_to_do import convert_while_loops
+from repro.workloads.idioms import IDIOMS, convertible_count
+
+
+def _coverage(strict=False):
+    converted = {}
+    for idiom in IDIOMS:
+        program = compile_to_il(idiom.source)
+        fn = program.functions["f"]
+        stats = convert_while_loops(fn, program.symtab, strict=strict)
+        converted[idiom.name] = stats.converted > 0
+    return converted
+
+
+def test_e4_conversion_coverage(benchmark):
+    converted = benchmark(_coverage)
+    expected = {i.name: i.convertible for i in IDIOMS}
+    hits = sum(1 for name in converted
+               if converted[name] == expected[name])
+    eligible = convertible_count()
+    achieved = sum(1 for i in IDIOMS
+                   if i.convertible and converted[i.name])
+    rows = [
+        Row("iterative loops recovered",
+            f"{eligible}/{eligible} (most for loops)",
+            f"{achieved}/{eligible}", achieved == eligible),
+        Row("non-iterative loops left alone",
+            "all", f"{hits - achieved}/{len(IDIOMS) - eligible}",
+            hits == len(IDIOMS)),
+    ]
+    print_table("E4: while->DO conversion coverage", rows)
+    print("\nper-idiom results:")
+    for idiom in IDIOMS:
+        status = "DO" if converted[idiom.name] else "while"
+        mark = "ok" if converted[idiom.name] == idiom.convertible \
+            else "WRONG"
+        print(f"  {idiom.name:18s} -> {status:6s} [{mark}]  "
+              f"{idiom.note}")
+    assert all(r.ok for r in rows)
+
+
+def test_e4_strict_mode_ablation(benchmark):
+    """strict=True refuses `while (v != k)` conversions without a
+    termination proof — it must lose exactly the daxpy-class idioms."""
+    normal = _coverage(strict=False)
+    strict = benchmark(lambda: _coverage(strict=True))
+    lost = [name for name in normal
+            if normal[name] and not strict[name]]
+    rows = [
+        Row("conversions lost in strict mode", "the `!=` idioms",
+            ", ".join(sorted(lost)),
+            set(lost) == {"pointer_walk", "for_no_header"}),
+    ]
+    print_table("E4b: strict while-conversion ablation", rows)
+    assert all(r.ok for r in rows)

@@ -1,0 +1,137 @@
+"""E7 — the constant-propagation unreachable-code heuristic vs the
+basic-block-reconstruction baseline (section 8).
+
+The paper rejects full reanalysis on efficiency grounds: the heuristic
+"tends to pick up almost all constants whose definitions are blocked by
+unreachable definitions; it does not eliminate all unreachable code
+that arises in practice ... it is very effective in practice and
+requires less compile time."
+"""
+
+import time
+
+from harness import Row, print_table
+from repro.frontend.lower import compile_to_il
+from repro.inline.inliner import inline_program
+from repro.opt.constprop import propagate_constants
+from repro.opt.deadcode import eliminate_dead_code
+from repro.opt.unreachable import count_unreachable, remove_unreachable_cfg
+
+# A library of guard-heavy routines, inlined with constant arguments so
+# large amounts of unreachable code appear (the section 8 scenario).
+GUARDY_SOURCE = """
+float out[256];
+void kernel(float *x, float a, float b, int mode, int n)
+{
+    int i;
+    if (n <= 0)
+        return;
+    if (a == 0.0) {
+        if (b == 0.0)
+            return;
+        for (i = 0; i < n; i++) x[i] = b;
+        return;
+    }
+    if (mode == 1) {
+        for (i = 0; i < n; i++) x[i] = a * x[i];
+        return;
+    }
+    if (mode == 2) {
+        for (i = 0; i < n; i++) x[i] = a * x[i] + b;
+        return;
+    }
+    for (i = 0; i < n; i++) x[i] = a;
+}
+void caller(void)
+{
+    kernel(out, 0.0, 0.0, 0, 256);
+    kernel(out, 2.0, 1.0, 1, 256);
+    kernel(out, 3.0, 1.0, 2, 256);
+}
+"""
+
+
+def _inlined_program():
+    program = compile_to_il(GUARDY_SOURCE)
+    inline_program(program)
+    return program
+
+
+def _run_heuristic(program):
+    fn = program.functions["caller"]
+    propagate_constants(fn, program.globals)
+    eliminate_dead_code(fn, program.globals)
+    return fn
+
+
+def _run_baseline(program):
+    fn = program.functions["caller"]
+    propagate_constants(fn, program.globals)
+    remove_unreachable_cfg(fn)
+    eliminate_dead_code(fn, program.globals)
+    return fn
+
+
+def test_e7_heuristic_removes_almost_all(benchmark):
+    # How much unreachable code does constant propagation *expose*?
+    exposed_program = _inlined_program()
+    exposed_fn = exposed_program.functions["caller"]
+    propagate_constants(exposed_fn, exposed_program.globals)
+    before = count_unreachable(exposed_fn)
+
+    fn = benchmark(lambda: _run_heuristic(_inlined_program()))
+    remaining = count_unreachable(fn)
+    removed_frac = 1 - remaining / max(before, 1)
+    rows = [
+        Row("unreachable stmts exposed by constprop", "-",
+            str(before), before > 0),
+        Row("fraction removed by the heuristic", "almost all",
+            f"{removed_frac * 100:.0f}%", removed_frac >= 0.9),
+    ]
+    print_table("E7: unreachable-code heuristic completeness", rows)
+    assert all(r.ok for r in rows)
+
+
+def test_e7_baseline_removes_everything(benchmark):
+    fn = benchmark(lambda: _run_baseline(_inlined_program()))
+    assert count_unreachable(fn) == 0
+
+
+def test_e7_compile_time_comparison(benchmark):
+    """The heuristic must not be slower than reconstruct-and-sweep;
+    the paper chose it because it 'requires less compile time'."""
+
+    def time_one(runner):
+        start = time.perf_counter()
+        for _ in range(5):
+            runner(_inlined_program())
+        return (time.perf_counter() - start) / 5
+
+    heuristic = time_one(_run_heuristic)
+    baseline = benchmark(lambda: time_one(_run_baseline))
+    ratio = baseline / heuristic
+    rows = [
+        Row("reconstruct-blocks time / heuristic time",
+            "> 1 (heuristic cheaper)", f"{ratio:.2f}x", ratio > 0.8),
+    ]
+    print_table("E7b: compile-time comparison", rows)
+    print(f"  heuristic: {heuristic * 1e3:.2f} ms, "
+          f"baseline: {baseline * 1e3:.2f} ms per compile")
+    assert all(r.ok for r in rows)
+
+
+def test_e7_results_agree_semantically(benchmark):
+    """Both strategies must compile to the same observable program."""
+    from repro.interp.interpreter import Interpreter
+
+    def outputs(runner):
+        program = _inlined_program()
+        runner(program)
+        interp = Interpreter(program)
+        interp.set_global_array("out", [1.0] * 256)
+        interp.run("caller")
+        return interp.global_array("out", 256)
+
+    heuristic_out = benchmark(lambda: outputs(_run_heuristic))
+    baseline_out = outputs(_run_baseline)
+    assert heuristic_out == baseline_out

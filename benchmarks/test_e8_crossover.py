@@ -1,0 +1,100 @@
+"""E8 — vector vs scalar crossover by trip count (sections 2, 5.2).
+
+"While the segmented nature of the floating unit permits overlap of
+scalar operations, in practice vector instructions are necessary to
+keep the pipeline full" — vector wins for long loops, but each vector
+instruction pays a startup, so very short loops may not benefit.
+Section 5.2: "knowing that the vector length in such loops is small
+enough that a strip loop is not required is very important"
+(4×4 graphics matrices).
+"""
+
+from harness import (FULL, Row, SCALAR_OPT_ONLY, compile_and_simulate,
+                     print_table)
+from repro.il import nodes as N
+from repro.pipeline import CompilerOptions, compile_c
+
+SRC_TEMPLATE = """
+float a[{n}], b[{n}], c[{n}];
+void f(void)
+{{
+    int i;
+    for (i = 0; i < {n}; i++)
+        a[i] = b[i] + 2.0f * c[i];
+}}
+"""
+
+
+def _ratio(n):
+    src = SRC_TEMPLATE.format(n=n)
+    arrays = {"b": [1.0] * n, "c": [2.0] * n}
+    vec = compile_and_simulate(src, "f", FULL, arrays=arrays)
+    scal = compile_and_simulate(src, "f", SCALAR_OPT_ONLY,
+                                arrays=arrays, use_scheduler=False)
+    return scal.seconds / vec.seconds
+
+
+def test_e8_speedup_grows_with_trip_count(benchmark):
+    sizes = [4, 8, 16, 32, 128, 512, 2048]
+    ratios = benchmark(lambda: [_ratio(n) for n in sizes])
+    print("\n=== E8: vector/scalar speedup by trip count ===")
+    print(f"{'n':>6s} {'speedup':>9s}")
+    for n, ratio in zip(sizes, ratios):
+        print(f"{n:6d} {ratio:8.2f}x")
+    # Shape: monotone-ish growth, long vectors win big, and even n=4
+    # is not catastrophically slower (startup bounded).
+    assert ratios[-1] > 5
+    assert ratios[-1] > ratios[0]
+    assert all(b >= a * 0.8 for a, b in zip(ratios, ratios[1:]))
+    rows = [
+        Row("speedup at n=2048", ">> 1", f"{ratios[-1]:.1f}x",
+            ratios[-1] > 5),
+        Row("speedup at n=4", "modest (startup)",
+            f"{ratios[0]:.2f}x", ratios[0] < ratios[-1] / 2),
+    ]
+    print_table("E8: crossover shape", rows)
+    assert all(r.ok for r in rows)
+
+
+def test_e8_short_constant_loops_skip_strip_loop(benchmark):
+    """The 4×4 graphics case: constant trips <= strip length compile
+    to bare vector statements with no strip loop."""
+    def strip_loops_at(n):
+        result = compile_c(SRC_TEMPLATE.format(n=n), FULL)
+        fn = result.program.functions["f"]
+        return sum(1 for s in fn.all_statements()
+                   if isinstance(s, N.DoLoop) and s.vector)
+
+    counts = benchmark(lambda: {n: strip_loops_at(n)
+                                for n in (4, 16, 32, 33, 100)})
+    rows = [
+        Row("strip loop at n=4", "none", str(counts[4]),
+            counts[4] == 0),
+        Row("strip loop at n=32", "none", str(counts[32]),
+            counts[32] == 0),
+        Row("strip loop at n=33", "present", str(counts[33]),
+            counts[33] == 1),
+        Row("strip loop at n=100", "present", str(counts[100]),
+            counts[100] == 1),
+    ]
+    print_table("E8b: strip-mining threshold", rows)
+    assert all(r.ok for r in rows)
+
+
+def test_e8_graphics_transform_vectorizes(benchmark):
+    """The motivating graphics workload: a 4x16-statement point
+    transform over component arrays fully vectorizes."""
+    from repro.workloads.graphics import identity_matrix, transform_points
+    src = transform_points(n=256)
+    result = benchmark(lambda: compile_c(src, FULL))
+    stats = result.vectorize_stats["transform"]
+    rows = [
+        Row("transform loop vectorized", "yes",
+            "yes" if stats.loops_vectorized else "no",
+            stats.loops_vectorized == 1),
+        Row("vector statements emitted", "4 (one per component)",
+            str(stats.vector_statements),
+            stats.vector_statements == 4),
+    ]
+    print_table("E8c: graphics point transform", rows)
+    assert all(r.ok for r in rows)

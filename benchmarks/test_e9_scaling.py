@@ -1,0 +1,87 @@
+"""E9 — multiprocessor scaling (section 2).
+
+"A Titan can consist of up to four processors ... Spreading loop
+iterations among multiple processors can provide significant speedups
+in many programs."  Section 9's number is for two processors; this
+bench sweeps 1–4 and checks near-linear scaling minus fork/join
+startup, plus the non-scaling of serial (recurrence) loops.
+"""
+
+from harness import FULL, Row, compile_and_simulate, print_table
+from repro.titan.config import TitanConfig
+from repro.workloads import blas, stencils
+
+N = 4096
+
+
+def _daxpy_seconds(processors):
+    return compile_and_simulate(
+        blas.caller_program(n=N), "bench", FULL,
+        config=TitanConfig(processors=processors),
+        arrays={"b": [1.0] * N, "c": [2.0] * N}).seconds
+
+
+def test_e9_parallel_scaling(benchmark):
+    times = benchmark(lambda: {p: _daxpy_seconds(p)
+                               for p in (1, 2, 3, 4)})
+    print("\n=== E9: daxpy scaling across processors ===")
+    print(f"{'CPUs':>5s} {'time (ms)':>10s} {'scaling':>9s}")
+    for p in (1, 2, 3, 4):
+        print(f"{p:5d} {times[p] * 1e3:10.3f} "
+              f"{times[1] / times[p]:8.2f}x")
+    s2 = times[1] / times[2]
+    s4 = times[1] / times[4]
+    rows = [
+        Row("2-CPU scaling", "~1.8x (90% efficient)", f"{s2:.2f}x",
+            1.5 <= s2 <= 2.0),
+        Row("4-CPU scaling", "~3.5x", f"{s4:.2f}x", 2.8 <= s4 <= 4.0),
+        Row("monotone", "yes",
+            "yes" if times[1] > times[2] > times[3] > times[4]
+            else "no",
+            times[1] > times[2] > times[3] > times[4]),
+    ]
+    print_table("E9: processor scaling", rows)
+    assert all(r.ok for r in rows)
+
+
+def test_e9_serial_loop_does_not_scale(benchmark):
+    """The backsolve recurrence must be immune to extra processors."""
+    def seconds(processors):
+        return compile_and_simulate(
+            stencils.backsolve(512), "backsolve", FULL,
+            config=TitanConfig(processors=processors),
+            arrays={"x": [1.0] * 512,
+                    "y": [i + 2.0 for i in range(512)],
+                    "z": [0.5] * 512},
+            scalars={"n": 512}).seconds
+
+    t1 = seconds(1)
+    t4 = benchmark(lambda: seconds(4))
+    ratio = t1 / t4
+    rows = [
+        Row("backsolve 4-CPU speedup", "1.0x (serial recurrence)",
+            f"{ratio:.2f}x", 0.95 <= ratio <= 1.05),
+    ]
+    print_table("E9b: serial loop immunity", rows)
+    assert all(r.ok for r in rows)
+
+
+def test_e9_parallel_startup_hurts_tiny_loops(benchmark):
+    """Fork/join startup means tiny parallel loops gain little —
+    the cost model must show the overhead, not free lunch."""
+    def seconds(n, processors):
+        return compile_and_simulate(
+            blas.caller_program(n=n), "bench", FULL,
+            config=TitanConfig(processors=processors),
+            arrays={"b": [1.0] * n, "c": [2.0] * n}).seconds
+
+    small_gain = benchmark(lambda: seconds(40, 1) / seconds(40, 4))
+    big_gain = seconds(4096, 1) / seconds(4096, 4)
+    rows = [
+        Row("4-CPU gain at n=40", "small", f"{small_gain:.2f}x",
+            small_gain < big_gain),
+        Row("4-CPU gain at n=4096", "near-linear",
+            f"{big_gain:.2f}x", big_gain > 2.5),
+    ]
+    print_table("E9c: startup vs loop size", rows)
+    assert all(r.ok for r in rows)

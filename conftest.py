@@ -1,0 +1,10 @@
+"""Ensure the in-tree package is importable even without installation.
+
+The benchmark environment is offline and lacks `wheel`, so editable
+installs can fail; tests and benchmarks must run straight from the tree.
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "src"))

@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""The paper's section 9 worked example, end to end.
+
+A C daxpy cannot be vectorized on its own — C pointer parameters may
+alias.  Inlining the call reveals the actual arguments (named, disjoint
+arrays and constant alpha/n); constant propagation then kills the
+guards, while→DO conversion and induction-variable substitution clean
+the loop, and the vectorizer emits `do parallel` strip loops.
+
+Run:  python examples/daxpy_inlining.py
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro import (CompilerOptions, TitanCompiler, TitanConfig,
+                   TitanSimulator)
+
+SOURCE = """
+float a[100], b[100], c[100];
+
+void daxpy(float *x, float *y, float *z, float alpha, int n)
+{
+    if (n <= 0)
+        return;
+    if (alpha == 0)
+        return;
+    for (; n; n--)
+        *x++ = *y++ + alpha * *z++;
+}
+
+int main(void)
+{
+    daxpy(a, b, c, 1.0, 100);
+    return 0;
+}
+"""
+
+
+def show_stage(result, stage: str) -> None:
+    text = result.stage_text(stage)
+    main_part = text[text.index("int main"):]
+    print(f"\n--- after {stage} ---")
+    print(main_part)
+
+
+def main() -> None:
+    compiler = TitanCompiler(CompilerOptions(dump_stages=True))
+    result = compiler.compile(SOURCE)
+
+    print("This reproduces the paper's section 9 transcript:")
+    for stage in ("front-end", "inline", "scalar-opt", "vectorize"):
+        show_stage(result, stage)
+
+    # The paper: "On a two processor Titan, this code executes 12
+    # times faster than the scalar version of the same routine."
+    def simulate(options, processors, use_scheduler):
+        res = TitanCompiler(options).compile(
+            SOURCE.replace("1.0, 100", "2.5, 100"))
+        sim = TitanSimulator(res.program,
+                             TitanConfig(processors=processors),
+                             use_scheduler=use_scheduler,
+                             schedules=res.schedules or None)
+        sim.set_global_array("b", [1.0] * 100)
+        sim.set_global_array("c", [2.0] * 100)
+        return sim.run("main")
+
+    scalar = simulate(CompilerOptions(inline=False, scalar_opt=False,
+                                      vectorize=False,
+                                      reg_pipeline=False,
+                                      strength_reduction=False),
+                      processors=2, use_scheduler=False)
+    optimized = simulate(CompilerOptions(), processors=2,
+                         use_scheduler=True)
+    print("\n=== two-processor Titan timing ===")
+    print(f"scalar:    {scalar.cycles:9,.0f} cycles")
+    print(f"optimized: {optimized.cycles:9,.0f} cycles")
+    print(f"speedup:   {optimized.speedup_over(scalar):.1f}x "
+          f"(the paper reports 12x)")
+
+
+if __name__ == "__main__":
+    main()

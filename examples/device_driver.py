@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Volatile and the things an optimizer must NOT do (section 1).
+
+The paper's example: a status-register spin loop that *looks* infinite.
+
+    keyboard_status = 0;
+    while (!keyboard_status);
+
+With `volatile` the loop is a legitimate device wait.  This example
+compiles driver-style code through the full optimizer and attaches a
+simulated keyboard device to prove every read still reaches the
+hardware — then shows what happens to the same code without volatile.
+
+Run:  python examples/device_driver.py
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro import (CompilerOptions, Interpreter, TitanCompiler)
+from repro.interp.interpreter import StepLimitExceeded
+
+DRIVER = """
+volatile int keyboard_status;
+volatile int keyboard_data;
+int buffer[16];
+
+int read_key(void)
+{
+    keyboard_status = 0;            /* request a key */
+    while (!keyboard_status)
+        ;                           /* spin on the device */
+    return keyboard_data;
+}
+
+int read_line(void)
+{
+    int i, key;
+    for (i = 0; i < 16; i++) {
+        key = read_key();
+        buffer[i] = key;
+        if (key == 10)
+            return i;
+    }
+    return 16;
+}
+"""
+
+
+def main() -> None:
+    result = TitanCompiler(CompilerOptions()).compile(DRIVER)
+    print("=== optimized read_key (volatile spin survives) ===")
+    print(result.function_text("read_key"))
+
+    # Attach a device: ready on every 3rd poll, keys spell "HI\n".
+    interp = Interpreter(result.program)
+    polls = {"count": 0}
+    keys = iter([72, 73, 10])
+    current = {"key": 0}
+
+    def status_read():
+        polls["count"] += 1
+        if polls["count"] % 3 == 0:
+            current["key"] = next(keys)
+            return 1
+        return 0
+
+    interp.add_device("keyboard_status", on_read=status_read)
+    interp.add_device("keyboard_data",
+                      on_read=lambda: current["key"])
+    length = interp.run("read_line")
+    line = interp.global_array("buffer", length)
+    print(f"device polled {polls['count']} times; "
+          f"read {length} keys: {line} "
+          f"({''.join(chr(int(k)) for k in line)!r})")
+
+    # Now the cautionary tale: drop volatile and the optimizer is
+    # entitled to treat the flag as a plain variable.
+    broken = DRIVER.replace("volatile int keyboard_status",
+                            "int keyboard_status")
+    broken_result = TitanCompiler(CompilerOptions()).compile(broken)
+    print("\n=== same code WITHOUT volatile ===")
+    print(broken_result.function_text("read_key"))
+    interp2 = Interpreter(broken_result.program, max_steps=50_000)
+    interp2.add_device("keyboard_status", on_read=status_read)
+    try:
+        interp2.run("read_key")
+        print("terminated (the optimizer may or may not have kept "
+              "the re-read)")
+    except StepLimitExceeded:
+        print("spins forever: the flag was legally treated as the "
+              "constant 0 — exactly the paper's point about why "
+              "volatile needs special treatment at every phase.")
+
+
+if __name__ == "__main__":
+    main()

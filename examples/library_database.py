@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Procedure databases: compiling a math library into a catalog (§7).
+
+"Math libraries can be 'compiled' into databases and used as a base for
+inlining, much as include directories are used as a source for header
+files."  This example builds an .ildb catalog from a BLAS-like library,
+then compiles a separate client file that only has prototypes — and
+still gets its daxpy call inlined, constant-folded, and vectorized.
+
+Run:  python examples/library_database.py
+"""
+
+import os
+import sys
+import tempfile
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro import (CompilerOptions, InlineDatabase, TitanCompiler,
+                   TitanSimulator, compile_to_il)
+from repro.workloads import blas
+
+CLIENT = """
+/* A separate translation unit: prototypes only. */
+void daxpy(float *x, float *y, float *z, float alpha, int n);
+void vadd(float *out, float *p, float *q, int n);
+
+float result[256], u[256], v[256], w[256];
+
+void compute(void)
+{
+    vadd(w, u, v, 256);              /* w = u + v   */
+    daxpy(result, w, u, 3.0, 256);   /* r = w + 3u  */
+}
+"""
+
+
+def main() -> None:
+    # Step 1: "compile" the library into a catalog.
+    library = compile_to_il(blas.MATH_LIBRARY_C)
+    db = InlineDatabase()
+    db.add_program(library)
+    path = os.path.join(tempfile.gettempdir(), "mathlib.ildb")
+    db.save(path)
+    print(f"catalog {path} holds: {', '.join(db.names())}")
+
+    # Step 2: compile the client against the catalog.
+    loaded = InlineDatabase.load(path)
+    compiler = TitanCompiler(CompilerOptions(), database=loaded)
+    result = compiler.compile(CLIENT)
+
+    inline = result.inline_stats
+    print(f"\ninlined {inline.sites_inlined} call sites "
+          f"({inline.sites_examined} examined)")
+    vec = result.vectorize_stats["compute"]
+    print(f"vectorized {vec.loops_vectorized} loops at the call sites")
+    print()
+    print(result.function_text("compute"))
+
+    # Step 3: run it.
+    sim = TitanSimulator(result.program,
+                         schedules=result.schedules or None)
+    sim.set_global_array("u", [1.0] * 256)
+    sim.set_global_array("v", [2.0] * 256)
+    report = sim.run("compute")
+    print(f"\nresult[0] = {sim.global_array('result', 1)[0]} "
+          f"(expect (1+2) + 3*1 = 6)")
+    print(f"simulated: {report.cycles:,.0f} cycles, "
+          f"{report.mflops:.2f} MFLOPS")
+    assert sim.global_array("result", 256) == [6.0] * 256
+
+    # Contrast: without the database the calls stay opaque calls.
+    bare = TitanCompiler(CompilerOptions()).compile(CLIENT)
+    bare_vec = bare.vectorize_stats["compute"]
+    print(f"\nwithout the catalog: {bare_vec.loops_vectorized} loops "
+          f"vectorized (the calls cannot even be analyzed)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Quickstart: compile a C loop for the Titan and watch it go vector.
+
+Run:  python examples/quickstart.py
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro import (CompilerOptions, TitanCompiler, TitanConfig,
+                   TitanSimulator)
+
+SOURCE = """
+float a[1000], b[1000], c[1000];
+
+void triad(void)
+{
+    int i;
+    for (i = 0; i < 1000; i++)
+        a[i] = b[i] + 2.5f * c[i];
+}
+"""
+
+
+def main() -> None:
+    # 1. Compile.  The pipeline lowers the for loop to a while loop,
+    #    recovers a DO loop, substitutes induction variables, proves
+    #    independence, and emits strip-mined parallel vector code.
+    compiler = TitanCompiler(CompilerOptions(dump_stages=True))
+    result = compiler.compile(SOURCE)
+
+    print("=== optimized IL ===")
+    print(result.function_text("triad"))
+
+    stats = result.vectorize_stats["triad"]
+    print(f"\nloops vectorized: {stats.loops_vectorized}, "
+          f"vector statements: {stats.vector_statements}")
+
+    # 2. Simulate on a two-processor Titan.
+    sim = TitanSimulator(result.program, TitanConfig(processors=2),
+                         schedules=result.schedules or None)
+    sim.set_global_array("b", [float(i) for i in range(1000)])
+    sim.set_global_array("c", [1.0] * 1000)
+    report = sim.run("triad")
+
+    print(f"\n=== Titan simulation (2 CPUs) ===")
+    print(f"cycles:  {report.cycles:,.0f}")
+    print(f"time:    {report.seconds * 1e6:.1f} us @ 16 MHz")
+    print(f"rate:    {report.mflops:.2f} MFLOPS")
+    print(f"a[0..4] = {sim.global_array('a', 5)}")
+
+    # 3. Compare against scalar compilation of the same source.
+    scalar = TitanCompiler(CompilerOptions(
+        vectorize=False, reg_pipeline=False,
+        strength_reduction=False)).compile(SOURCE)
+    scalar_sim = TitanSimulator(scalar.program, use_scheduler=False)
+    scalar_sim.set_global_array("b", [float(i) for i in range(1000)])
+    scalar_sim.set_global_array("c", [1.0] * 1000)
+    scalar_report = scalar_sim.run("triad")
+    print(f"\nscalar build: {scalar_report.mflops:.2f} MFLOPS "
+          f"-> speedup {report.speedup_over(scalar_report):.1f}x")
+
+
+if __name__ == "__main__":
+    main()

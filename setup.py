@@ -1,0 +1,17 @@
+"""Legacy setup shim.
+
+The environment has no `wheel` package and no network, so PEP 660
+editable installs (`pip install -e .`) cannot build a wheel.  This shim
+lets `python setup.py develop` / legacy `pip install -e .` work offline.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    entry_points={"console_scripts": ["titancc = repro.cli:main"]},
+    python_requires=">=3.10",
+)

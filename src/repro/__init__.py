@@ -1,0 +1,78 @@
+"""repro — a vectorizing, parallelizing, inlining C compiler.
+
+A faithful reproduction of Randy Allen and Steve Johnson, *Compiling C
+for Vectorization, Parallelization, and Inline Expansion* (PLDI 1988):
+the Ardent Titan C compiler, rebuilt in Python, together with a
+cycle-approximate Titan machine simulator to stand in for the hardware.
+
+Quickstart::
+
+    from repro import compile_c, TitanSimulator
+
+    result = compile_c('''
+        float a[100], b[100], c[100];
+        void add(void) {
+            int i;
+            for (i = 0; i < 100; i++)
+                a[i] = b[i] + c[i];
+        }
+    ''')
+    print(result.function_text("add"))       # do parallel ... vector
+
+    sim = TitanSimulator(result.program, schedules=result.schedules)
+    sim.set_global_array("b", [1.0] * 100)
+    sim.set_global_array("c", [2.0] * 100)
+    report = sim.run("add")
+    print(report.mflops, sim.global_array("a", 3))
+
+Public surface:
+
+* :func:`compile_c` / :class:`TitanCompiler` / :class:`CompilerOptions`
+  — the compiler pipeline (front end, inliner, scalar optimizer,
+  vectorizer, dependence-driven optimizations);
+* :class:`Interpreter` — reference IL execution semantics;
+* :class:`TitanSimulator` / :class:`TitanConfig` / :class:`TitanReport`
+  — timing simulation on the modelled Titan;
+* :class:`InlineDatabase` — procedure catalogs for cross-file inlining;
+* :mod:`repro.workloads` — the synthetic workload suites used by the
+  benchmark harness.
+"""
+
+from .frontend.lower import LoweringError, compile_to_il
+from .frontend.lexer import LexError
+from .frontend.parser import ParseError
+from .frontend.preprocessor import PreprocessorError
+from .il.printer import format_function, format_program
+from .il.validate import ILValidationError, validate_program
+from .inline.database import InlineDatabase
+from .interp.interpreter import Interpreter, InterpreterError
+from .pipeline import (CompilationResult, CompilerOptions, TitanCompiler,
+                       compile_c)
+from .titan.config import TitanConfig
+from .titan.simulator import TitanReport, TitanSimulator, simulate
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CompilationResult",
+    "CompilerOptions",
+    "ILValidationError",
+    "InlineDatabase",
+    "Interpreter",
+    "InterpreterError",
+    "LexError",
+    "LoweringError",
+    "ParseError",
+    "PreprocessorError",
+    "TitanCompiler",
+    "TitanConfig",
+    "TitanReport",
+    "TitanSimulator",
+    "compile_c",
+    "compile_to_il",
+    "format_function",
+    "format_program",
+    "simulate",
+    "validate_program",
+    "__version__",
+]

@@ -1,0 +1,103 @@
+"""Dominator computation (Cooper–Harvey–Kennedy iterative algorithm).
+
+Dominators back two consumers: natural-loop discovery for gotos-formed
+loops, and the 'rebuild basic blocks' unreachable-code baseline that the
+paper rejects on efficiency grounds (section 8) but which experiment E7
+measures against the heuristic.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from .flowgraph import FlowGraph, FlowNode
+
+
+class Dominators:
+    def __init__(self, graph: FlowGraph):
+        self.graph = graph
+        self.idom: Dict[FlowNode, Optional[FlowNode]] = {}
+        self._order: List[FlowNode] = []
+        self._number: Dict[FlowNode, int] = {}
+        self._compute()
+
+    def _compute(self) -> None:
+        # Reverse postorder over reachable nodes.
+        visited: Set[FlowNode] = set()
+        postorder: List[FlowNode] = []
+
+        def dfs(node: FlowNode) -> None:
+            stack = [(node, iter(node.succs))]
+            visited.add(node)
+            while stack:
+                current, it = stack[-1]
+                advanced = False
+                for succ in it:
+                    if succ not in visited:
+                        visited.add(succ)
+                        stack.append((succ, iter(succ.succs)))
+                        advanced = True
+                        break
+                if not advanced:
+                    postorder.append(current)
+                    stack.pop()
+
+        dfs(self.graph.entry)
+        self._order = list(reversed(postorder))
+        self._number = {node: i for i, node in enumerate(self._order)}
+        entry = self.graph.entry
+        self.idom = {entry: entry}
+        changed = True
+        while changed:
+            changed = False
+            for node in self._order:
+                if node is entry:
+                    continue
+                preds = [p for p in node.preds if p in self.idom]
+                if not preds:
+                    continue
+                new_idom = preds[0]
+                for p in preds[1:]:
+                    new_idom = self._intersect(p, new_idom)
+                if self.idom.get(node) is not new_idom:
+                    self.idom[node] = new_idom
+                    changed = True
+        self.idom[entry] = None
+
+    def _intersect(self, a: FlowNode, b: FlowNode) -> FlowNode:
+        while a is not b:
+            while self._number[a] > self._number[b]:
+                a = self.idom[a]
+            while self._number[b] > self._number[a]:
+                b = self.idom[b]
+        return a
+
+    def dominates(self, a: FlowNode, b: FlowNode) -> bool:
+        """Does ``a`` dominate ``b``?  (Reflexive.)"""
+        node: Optional[FlowNode] = b
+        while node is not None:
+            if node is a:
+                return True
+            node = self.idom.get(node)
+        return False
+
+    def back_edges(self) -> List[tuple]:
+        """CFG edges (tail, head) where head dominates tail."""
+        out = []
+        for node in self._order:
+            for succ in node.succs:
+                if succ in self._number and self.dominates(succ, node):
+                    out.append((node, succ))
+        return out
+
+    def natural_loop(self, tail: FlowNode, head: FlowNode) -> Set[FlowNode]:
+        """The natural loop of a back edge tail→head."""
+        loop = {head, tail}
+        stack = [tail]
+        while stack:
+            node = stack.pop()
+            for pred in node.preds:
+                if pred not in loop and pred in self._number:
+                    loop.add(pred)
+                    stack.append(pred)
+        return loop

@@ -1,0 +1,74 @@
+"""Backward live-variable analysis.
+
+Dead-code elimination (section 8: "Dead code is common" after inlining)
+deletes assignments whose scalar target is dead, so long as the value
+expression has no observable effect (no call, no volatile access).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Sequence, Set
+
+from ..frontend.symtab import Symbol
+from ..il import nodes as N
+from .flowgraph import (FlowGraph, FlowNode, MEMORY, aliased_symbols,
+                        node_defs, node_uses)
+
+
+class Liveness:
+    def __init__(self, graph: FlowGraph,
+                 globals_: Sequence[N.GlobalVar] = ()):
+        self.graph = graph
+        self.aliased = aliased_symbols(graph.fn, globals_)
+        self.live_out: Dict[FlowNode, FrozenSet[object]] = {}
+        self.live_in: Dict[FlowNode, FrozenSet[object]] = {}
+        self._solve()
+
+    def _solve(self) -> None:
+        nodes = self.graph.nodes
+        uses: Dict[FlowNode, Set[object]] = {}
+        defs: Dict[FlowNode, Set[object]] = {}
+        for node in nodes:
+            uses[node] = node_uses(node)
+            defs[node] = node_defs(node, self.graph.fn, self.aliased)
+        # At exit, globals, aliased locals, params of pointer type (the
+        # caller can see what they point at) and MEMORY remain live.
+        exit_live: Set[object] = {MEMORY}
+        exit_live.update(self.aliased)
+        live_out: Dict[FlowNode, FrozenSet[object]] = {
+            node: frozenset() for node in nodes}
+        live_in: Dict[FlowNode, FrozenSet[object]] = {
+            node: frozenset() for node in nodes}
+        live_out[self.graph.exit] = frozenset(exit_live)
+        changed = True
+        while changed:
+            changed = False
+            for node in reversed(nodes):
+                if node is self.graph.exit:
+                    out: FrozenSet[object] = live_out[node]
+                else:
+                    out = frozenset().union(
+                        *(live_in[s] for s in node.succs)) \
+                        if node.succs else frozenset()
+                strong = {d for d in defs[node]
+                          if isinstance(d, Symbol)} \
+                    if _strong(node) else set()
+                new_in = frozenset(uses[node]) | (out - frozenset(strong))
+                if out != live_out[node] or new_in != live_in[node]:
+                    live_out[node] = out
+                    live_in[node] = new_in
+                    changed = True
+        self.live_out = live_out
+        self.live_in = live_in
+
+    def is_live_after(self, node: FlowNode, sym: Symbol) -> bool:
+        return sym in self.live_out.get(node, frozenset())
+
+
+def _strong(node: FlowNode) -> bool:
+    stmt = node.stmt
+    if node.kind in ("do_init", "do_step"):
+        return True
+    if node.kind == "assign" and isinstance(stmt, N.Assign):
+        return isinstance(stmt.target, N.VarRef)
+    return False

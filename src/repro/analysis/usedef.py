@@ -1,0 +1,134 @@
+"""Reaching definitions and use-def chains.
+
+Section 5.2 places while→DO conversion "immediately after use-def chains
+have been constructed", and induction-variable substitution, constant
+propagation, and dead-code elimination are all driven off the same
+chains.  This module computes them with a classic iterative worklist over
+the flow graph, at single-event granularity (our procedures are small —
+the paper's own argument for pragmatism over asymptotics, section 5.3).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from ..frontend.symtab import Symbol
+from ..il import nodes as N
+from .flowgraph import (FlowGraph, FlowNode, MEMORY, aliased_symbols,
+                        node_defs, node_uses)
+
+
+@dataclass(frozen=True)
+class Definition:
+    """One definition point: ``node`` defines ``location``."""
+
+    node: FlowNode
+    location: object  # Symbol or MEMORY
+
+    def __repr__(self) -> str:
+        name = self.location.name if isinstance(self.location, Symbol) \
+            else str(self.location)
+        return f"Def({name}@{self.node})"
+
+
+class UseDefChains:
+    """Reaching-definition sets per flow node, queryable per use."""
+
+    def __init__(self, graph: FlowGraph,
+                 globals_: Sequence[N.GlobalVar] = ()):
+        self.graph = graph
+        self.fn = graph.fn
+        self.aliased = aliased_symbols(graph.fn, globals_)
+        self._defs_at: Dict[FlowNode, Set[object]] = {}
+        self._uses_at: Dict[FlowNode, Set[object]] = {}
+        for node in graph.nodes:
+            self._defs_at[node] = node_defs(node, graph.fn, self.aliased)
+            self._uses_at[node] = node_uses(node)
+        self.reaching_in: Dict[FlowNode, FrozenSet[Definition]] = {}
+        self._solve()
+
+    # -- dataflow ----------------------------------------------------------
+
+    def _solve(self) -> None:
+        nodes = self.graph.nodes
+        gen: Dict[FlowNode, FrozenSet[Definition]] = {}
+        for node in nodes:
+            gen[node] = frozenset(Definition(node, loc)
+                                  for loc in self._defs_at[node])
+        out: Dict[FlowNode, FrozenSet[Definition]] = {
+            node: frozenset() for node in nodes}
+        in_: Dict[FlowNode, FrozenSet[Definition]] = {
+            node: frozenset() for node in nodes}
+        worklist = list(nodes)
+        while worklist:
+            node = worklist.pop()
+            new_in = frozenset().union(*(out[p] for p in node.preds)) \
+                if node.preds else frozenset()
+            killed_locs = {loc for loc in self._defs_at[node]
+                           if loc is not MEMORY and loc not in self.aliased}
+            # A definite scalar assignment kills prior defs of that
+            # scalar; MEMORY and aliased defs accumulate (may-defs).
+            strong = killed_locs if _is_strong_def(node) else set()
+            new_out = gen[node] | frozenset(
+                d for d in new_in if d.location not in strong)
+            if new_in != in_[node] or new_out != out[node]:
+                in_[node] = new_in
+                out[node] = new_out
+                worklist.extend(node.succs)
+        self.reaching_in = in_
+        self.reaching_out = out
+
+    # -- queries -----------------------------------------------------------
+
+    def defs_reaching(self, node: FlowNode,
+                      location: object) -> List[Definition]:
+        return [d for d in self.reaching_in.get(node, frozenset())
+                if d.location == location]
+
+    def unique_def(self, node: FlowNode,
+                   sym: Symbol) -> Optional[Definition]:
+        """The single definition of ``sym`` reaching ``node``, or None
+        if zero or several reach."""
+        defs = self.defs_reaching(node, sym)
+        if len(defs) == 1:
+            return defs[0]
+        return None
+
+    def uses_of(self, node: FlowNode) -> Set[object]:
+        return self._uses_at[node]
+
+    def defs_of(self, node: FlowNode) -> Set[object]:
+        return self._defs_at[node]
+
+    def def_use_map(self) -> Dict[FlowNode, List[FlowNode]]:
+        """Invert the chains: for each defining node, the nodes that may
+        use one of its definitions."""
+        result: Dict[FlowNode, List[FlowNode]] = defaultdict(list)
+        for node in self.graph.nodes:
+            for loc in self._uses_at[node]:
+                for d in self.defs_reaching(node, loc):
+                    if node not in result[d.node]:
+                        result[d.node].append(node)
+        return result
+
+
+def _is_strong_def(node: FlowNode) -> bool:
+    """Does this node *definitely* overwrite its scalar targets?"""
+    stmt = node.stmt
+    if node.kind in ("do_init", "do_step"):
+        return True
+    if node.kind == "entry":
+        return True
+    if node.kind == "assign" and isinstance(stmt, N.Assign):
+        return isinstance(stmt.target, N.VarRef)
+    return False
+
+
+def build_chains(fn: N.ILFunction,
+                 globals_: Sequence[N.GlobalVar] = ()
+                 ) -> Tuple[FlowGraph, UseDefChains]:
+    """Build the flow graph and use-def chains for ``fn``."""
+    graph = FlowGraph(fn)
+    return graph, UseDefChains(graph, globals_)

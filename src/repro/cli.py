@@ -1,0 +1,150 @@
+"""``titancc`` — command-line driver for the Titan C compiler.
+
+Usage examples::
+
+    titancc file.c                        # compile, print optimized IL
+    titancc file.c --dump-stages          # show every pipeline stage
+    titancc file.c --run main             # compile and simulate
+    titancc file.c --no-inline --no-vectorize
+    titancc file.c --make-db lib.ildb     # build a procedure database
+    titancc file.c --use-db lib.ildb      # inline from a database
+    titancc file.c --processors 4 --run main
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .frontend.lower import compile_to_il
+from .il.printer import format_program
+from .inline.database import InlineDatabase
+from .pipeline import CompilerOptions, TitanCompiler
+from .titan.config import TitanConfig
+from .titan.simulator import TitanSimulator
+
+
+def build_arg_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="titancc",
+        description="Vectorizing, parallelizing, inlining C compiler "
+                    "targeting a simulated Ardent Titan (Allen & "
+                    "Johnson, PLDI 1988).")
+    parser.add_argument("source", help="C source file")
+    parser.add_argument("--dump-stages", action="store_true",
+                        help="print the IL after every pipeline stage")
+    parser.add_argument("--no-inline", action="store_true")
+    parser.add_argument("--no-vectorize", action="store_true")
+    parser.add_argument("--no-parallelize", action="store_true")
+    parser.add_argument("--no-scalar-opt", action="store_true")
+    parser.add_argument("--no-reg-pipeline", action="store_true")
+    parser.add_argument("--no-strength-reduction", action="store_true")
+    parser.add_argument("--fortran-pointers", action="store_true",
+                        help="assume pointer parameters never alias "
+                             "(the paper's compiler option)")
+    parser.add_argument("--strict-while", action="store_true",
+                        help="never convert `while (v != k)` loops "
+                             "without a termination proof")
+    parser.add_argument("--parallelize-lists", action="store_true",
+                        help="spread linked-list loops across "
+                             "processors (asserts the paper's "
+                             "independent-storage assumption, "
+                             "section 10)")
+    parser.add_argument("--vector-length", type=int, default=32)
+    parser.add_argument("--processors", type=int, default=2)
+    parser.add_argument("--run", metavar="ENTRY",
+                        help="simulate ENTRY() on the Titan model and "
+                             "report cycles/MFLOPS")
+    parser.add_argument("--make-db", metavar="PATH",
+                        help="save the parsed procedures as an inline "
+                             "database instead of compiling")
+    parser.add_argument("--use-db", metavar="PATH", action="append",
+                        default=[],
+                        help="inline from this procedure database "
+                             "(repeatable)")
+    parser.add_argument("--stats", action="store_true",
+                        help="print per-pass statistics")
+    return parser
+
+
+def options_from_args(args: argparse.Namespace) -> CompilerOptions:
+    return CompilerOptions(
+        inline=not args.no_inline,
+        scalar_opt=not args.no_scalar_opt,
+        vectorize=not args.no_vectorize,
+        parallelize=not args.no_parallelize,
+        reg_pipeline=not args.no_reg_pipeline,
+        strength_reduction=not args.no_strength_reduction,
+        fortran_pointer_semantics=args.fortran_pointers,
+        strict_while_conversion=args.strict_while,
+        parallelize_lists=args.parallelize_lists,
+        vector_length=args.vector_length,
+        processors=args.processors,
+        dump_stages=args.dump_stages,
+    )
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_arg_parser().parse_args(argv)
+    with open(args.source) as handle:
+        source = handle.read()
+
+    if args.make_db:
+        program = compile_to_il(source, args.source)
+        db = InlineDatabase()
+        db.add_program(program)
+        db.save(args.make_db)
+        print(f"wrote {len(db.names())} procedures to {args.make_db}: "
+              f"{', '.join(db.names())}")
+        return 0
+
+    database: Optional[InlineDatabase] = None
+    if args.use_db:
+        database = InlineDatabase()
+        for path in args.use_db:
+            loaded = InlineDatabase.load(path)
+            database.entries.update(loaded.entries)
+
+    compiler = TitanCompiler(options_from_args(args), database)
+    result = compiler.compile(source, args.source)
+
+    if args.dump_stages:
+        for dump in result.stages:
+            print(f"/* ===== stage: {dump.stage} ===== */")
+            print(dump.text)
+            print()
+    else:
+        print(format_program(result.program))
+
+    if args.stats:
+        print("\n/* pass statistics */", file=sys.stderr)
+        if result.inline_stats:
+            print(f"inline: {result.inline_stats}", file=sys.stderr)
+        for name in result.program.functions:
+            for label, store in (
+                    ("while->do", result.while_to_do_stats),
+                    ("ivsub", result.ivsub_stats),
+                    ("constprop", result.constprop_stats),
+                    ("dce", result.dce_stats),
+                    ("vectorize", result.vectorize_stats)):
+                if name in store:
+                    print(f"{name}.{label}: {store[name]}",
+                          file=sys.stderr)
+
+    if args.run:
+        config = TitanConfig(processors=args.processors)
+        simulator = TitanSimulator(result.program, config,
+                                   schedules=result.schedules or None)
+        report = simulator.run(args.run)
+        if report.stdout:
+            sys.stdout.write(report.stdout)
+        print(f"\n/* simulated: {report.cycles:.0f} cycles, "
+              f"{report.seconds * 1e3:.3f} ms, "
+              f"{report.mflops:.2f} MFLOPS, "
+              f"result={report.result} */")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

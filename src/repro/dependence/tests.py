@@ -1,0 +1,204 @@
+"""Dependence tests: ZIV, strong/weak SIV, GCD, and Banerjee bounds.
+
+These are the Fortran-vectorization workhorses the paper applies to C
+[Bane76, Wolf78, Alle83].  Given two affine references with the same
+base region, the tests decide whether two iterations *i1*, *i2* of the
+candidate loop can touch the same byte address, and with which direction
+(``<`` — carried from an earlier iteration, ``=`` — loop independent,
+``>`` — carried to an earlier iteration, i.e. the dependence actually
+runs the other way).
+
+All quantities are byte offsets; the trip count may be unknown
+(``None``), in which case bounds default to "unbounded" and only the
+GCD/ZIV reasoning can disprove dependence.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Set, Tuple
+
+from .refs import AffineRef
+
+# Direction values.
+LT, EQ, GT = "<", "=", ">"
+
+
+@dataclass(frozen=True)
+class DependenceResult:
+    """Outcome of testing one reference pair at one loop level."""
+
+    possible: bool
+    directions: frozenset = frozenset()
+    distance: Optional[int] = None  # constant iteration distance if known
+
+    @staticmethod
+    def none() -> "DependenceResult":
+        return DependenceResult(possible=False)
+
+    @staticmethod
+    def all_directions() -> "DependenceResult":
+        return DependenceResult(possible=True,
+                                directions=frozenset({LT, EQ, GT}))
+
+
+def test_pair(a: AffineRef, b: AffineRef, loop_var,
+              trip_count: Optional[int]) -> DependenceResult:
+    """Can ref ``a`` at iteration i1 and ref ``b`` at iteration i2
+    overlap?  Directions are relative to (i1, i2): ``<`` means i1 < i2.
+    """
+    if not a.same_shape(b):
+        # Different identified regions never overlap; unidentified
+        # bases were filtered by the caller.
+        return DependenceResult.none()
+    # Overlap width: scalar accesses of possibly different sizes.
+    if not _sizes_compatible(a, b):
+        return DependenceResult.all_directions()
+    c1, c2 = a.coeff(loop_var), b.coeff(loop_var)
+    k1, k2 = a.offset, b.offset
+    # Require outer-loop coefficients to agree; otherwise give up
+    # (conservative: dependence with all directions).
+    outer_a = {v: c for v, c in a.coeffs.items() if v != loop_var}
+    outer_b = {v: c for v, c in b.coeffs.items() if v != loop_var}
+    if outer_a != outer_b:
+        return DependenceResult.all_directions()
+    # Byte granularity: accesses are [addr, addr+size); two accesses
+    # overlap when |a1 - a2| < size.  (C lets *(p+4i+2) alias *(p+4i).)
+    size = max(a.elem_size, b.elem_size)
+    return _siv_test(c1, c2, k1, k2, trip_count, size)
+
+
+def _sizes_compatible(a: AffineRef, b: AffineRef) -> bool:
+    return a.elem_size == b.elem_size
+
+
+def _overlaps(delta: int, size: int) -> bool:
+    return abs(delta) < size
+
+
+def _siv_test(c1: int, c2: int, k1: int, k2: int,
+              n: Optional[int], size: int) -> DependenceResult:
+    """Solve |(c1*i1 + k1) - (c2*i2 + k2)| < size for 0 <= i1, i2 < n."""
+    delta = k2 - k1  # want c1*i1 - c2*i2 ≈ delta (within size)
+    if c1 == 0 and c2 == 0:
+        # ZIV: both constant addresses.
+        if _overlaps(delta, size):
+            return DependenceResult.all_directions()
+        return DependenceResult.none()
+    if c1 == c2:
+        # Strong SIV: overlap at every integer distance d with
+        # |c*d - delta| < size.  With wide spans (vector sections)
+        # several distances can overlap, so solve the range
+        #   (delta - size)/c  <  d  <  (delta + size)/c
+        # exactly rather than probing floor/ceil.
+        c = c1
+        lo_num, hi_num = delta - size, delta + size
+        if c > 0:
+            d_min = lo_num // c + 1
+            d_max = -(-hi_num // c) - 1
+        else:
+            d_min = hi_num // c + 1
+            d_max = -(-lo_num // c) - 1
+        if n is not None:
+            d_min = max(d_min, -(n - 1))
+            d_max = min(d_max, n - 1)
+        if d_min > d_max:
+            return DependenceResult.none()
+        directions: Set[str] = set()
+        if d_min < 0:
+            directions.add(LT)
+        if d_min <= 0 <= d_max:
+            directions.add(EQ)
+        if d_max > 0:
+            directions.add(GT)
+        distance: Optional[int] = None
+        if d_min == d_max:
+            distance = -d_min  # i1 = i2 + d  ⇒ dep distance = -d
+        return DependenceResult(possible=True,
+                                directions=frozenset(directions),
+                                distance=distance)
+    # Weak SIV / general: GCD test with byte tolerance.
+    g = math.gcd(abs(c1), abs(c2))
+    if g != 0:
+        r = delta % g
+        if min(r, g - r) >= size:
+            return DependenceResult.none()
+    # Banerjee-style bounds when the trip count is known: check each
+    # direction class separately.
+    if n is None:
+        return DependenceResult.all_directions()
+    directions = set()
+    for direction in (LT, EQ, GT):
+        if _banerjee_feasible(c1, c2, delta, n, direction, size):
+            directions.add(direction)
+    if not directions:
+        return DependenceResult.none()
+    return DependenceResult(possible=True,
+                            directions=frozenset(directions))
+
+
+def _banerjee_feasible(c1: int, c2: int, delta: int, n: int,
+                       direction: str, size: int) -> bool:
+    """Is |c1*i1 - c2*i2 - delta| < size feasible for 0 <= i1,i2 <= n-1
+    under the given direction constraint on (i1, i2)?
+
+    Uses interval bounds of the linear form (Banerjee's inequalities
+    specialized to a single index), widened by the byte tolerance.
+    """
+    hi_i = n - 1
+    if hi_i < 0:
+        return False
+
+    def bounds(c: int, lo: int, hi: int) -> Tuple[int, int]:
+        lo_v, hi_v = c * lo, c * hi
+        return (min(lo_v, hi_v), max(lo_v, hi_v))
+
+    if direction == EQ:
+        # i1 == i2 == i: (c1 - c2)*i ≈ delta
+        c = c1 - c2
+        if c == 0:
+            return _overlaps(delta, size)
+        for d in (delta // c, -(-delta // c)):
+            if _overlaps(c * d - delta, size) and 0 <= d <= hi_i:
+                return True
+        return False
+    if direction == LT:
+        # i1 < i2: i2 = i1 + d, d >= 1:
+        # (c1 - c2)*i1 - c2*d ≈ delta, 0 <= i1 <= hi_i-1, 1 <= d <= hi_i
+        if hi_i < 1:
+            return False
+        lo1, hi1 = bounds(c1 - c2, 0, hi_i - 1)
+        lo2, hi2 = bounds(-c2, 1, hi_i)
+        return lo1 + lo2 - size < delta < hi1 + hi2 + size
+    # direction GT: i1 = i2 + d, d >= 1:
+    # c1*d + (c1 - c2)*i2 ≈ delta, 0 <= i2 <= hi_i-1
+    if hi_i < 1:
+        return False
+    lo1, hi1 = bounds(c1, 1, hi_i)
+    lo2, hi2 = bounds(c1 - c2, 0, hi_i - 1)
+    return lo1 + lo2 - size < delta < hi1 + hi2 + size
+
+
+def brute_force_check(a: AffineRef, b: AffineRef, loop_var,
+                      n: int) -> Set[str]:
+    """Oracle used by the property tests: enumerate iterations and
+    report the set of directions with actual overlaps."""
+    hits: Set[str] = set()
+    c1, c2 = a.coeff(loop_var), b.coeff(loop_var)
+    for i1 in range(n):
+        for i2 in range(n):
+            a1 = c1 * i1 + a.offset
+            a2 = c2 * i2 + b.offset
+            if _ranges_overlap(a1, a.elem_size, a2, b.elem_size):
+                if i1 < i2:
+                    hits.add(LT)
+                elif i1 == i2:
+                    hits.add(EQ)
+                else:
+                    hits.add(GT)
+    return hits
+
+
+def _ranges_overlap(a1: int, s1: int, a2: int, s2: int) -> bool:
+    return a1 < a2 + s2 and a2 < a1 + s1

@@ -1,0 +1,117 @@
+"""IL well-formedness checks.
+
+The invariants here are exactly the representation guarantees the paper's
+section 3/4 relies on; every optimization pass may assume them and the
+test suite re-validates after each pass:
+
+1. Expressions are pure: no ``CallExpr`` nested inside another
+   expression; calls appear only directly under ``Assign``/``CallStmt``.
+2. Assignment targets are lvalues (``VarRef`` or ``Mem``); ``Section``
+   targets appear only in ``VectorAssign``.
+3. ``DoLoop`` steps are non-zero integer constants and loop variables
+   are scalar integer symbols.
+4. Labels referenced by ``goto`` exist in the function.
+5. Statement ids are unique within a function.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set
+
+from . import nodes as N
+
+
+class ILValidationError(Exception):
+    pass
+
+
+def _check_pure(expr: N.Expr, top: bool = True) -> None:
+    if isinstance(expr, N.CallExpr):
+        if not top:
+            raise ILValidationError(
+                f"nested call {expr.name!r} inside an expression")
+        for arg in expr.args:
+            _check_pure(arg, top=False)
+        return
+    for child in expr.children():
+        _check_pure(child, top=False)
+
+
+def validate_function(fn: N.ILFunction) -> None:
+    labels: Set[str] = set()
+    gotos: List[str] = []
+    sids: Set[int] = set()
+    for stmt in fn.all_statements():
+        if stmt.sid in sids:
+            raise ILValidationError(
+                f"duplicate statement id {stmt.sid} in {fn.name}")
+        sids.add(stmt.sid)
+        if isinstance(stmt, N.LabelStmt):
+            if stmt.label in labels:
+                raise ILValidationError(
+                    f"duplicate label {stmt.label!r} in {fn.name}")
+            labels.add(stmt.label)
+        elif isinstance(stmt, N.Goto):
+            gotos.append(stmt.label)
+        if isinstance(stmt, N.Assign):
+            if not isinstance(stmt.target, (N.VarRef, N.Mem)):
+                raise ILValidationError(
+                    f"assignment target {stmt.target!r} is not an lvalue")
+            _check_pure(stmt.value, top=True)
+            _check_pure(stmt.target, top=False)
+        elif isinstance(stmt, N.VectorAssign):
+            if not isinstance(stmt.target, N.Section):
+                raise ILValidationError(
+                    "VectorAssign target must be a Section")
+            _check_pure(stmt.value, top=False)
+        elif isinstance(stmt, N.VectorReduce):
+            if not isinstance(stmt.target, N.VarRef):
+                raise ILValidationError(
+                    "VectorReduce target must be a scalar variable")
+            if stmt.op not in ("+", "min", "max"):
+                raise ILValidationError(
+                    f"unsupported reduction operator {stmt.op!r}")
+            if not any(isinstance(e, N.Section)
+                       for e in N.walk_expr(stmt.value)):
+                raise ILValidationError(
+                    "VectorReduce value has no vector section")
+            _check_pure(stmt.value, top=False)
+        elif isinstance(stmt, N.CallStmt):
+            _check_pure(stmt.call, top=True)
+        elif isinstance(stmt, N.IfStmt):
+            _check_pure(stmt.cond, top=False)
+        elif isinstance(stmt, N.WhileLoop):
+            _check_pure(stmt.cond, top=False)
+        elif isinstance(stmt, N.DoLoop):
+            if stmt.step == 0:
+                raise ILValidationError("DoLoop with zero step")
+            if not stmt.var.ctype.is_integer:
+                raise ILValidationError(
+                    f"DoLoop variable {stmt.var.name} is not integer")
+            _check_pure(stmt.lo, top=False)
+            _check_pure(stmt.hi, top=False)
+        elif isinstance(stmt, N.Return) and stmt.value is not None:
+            _check_pure(stmt.value, top=False)
+        elif isinstance(stmt, N.ListParallelLoop):
+            if not stmt.ptr.ctype.is_pointer:
+                raise ILValidationError(
+                    f"list loop variable {stmt.ptr.name} is not a "
+                    "pointer")
+            if not stmt.advance:
+                raise ILValidationError(
+                    "list loop with empty advance section")
+            for sub in N.walk_statements(stmt.body):
+                if isinstance(sub, (N.Goto, N.LabelStmt, N.Return,
+                                    N.CallStmt)):
+                    raise ILValidationError(
+                        "irregular statement inside a parallel list "
+                        "body")
+    for label in gotos:
+        if label not in labels:
+            raise ILValidationError(
+                f"goto to undefined label {label!r} in {fn.name}")
+
+
+def validate_program(program: N.ILProgram) -> None:
+    for fn in program.functions.values():
+        validate_function(fn)

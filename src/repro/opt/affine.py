@@ -1,0 +1,95 @@
+"""Tracing assignments through the front end's temp chains.
+
+The C front end generates ``temp = v; v = temp - 1`` for ``v--``
+(section 5.3).  Both while→DO conversion and IV discovery need the
+*traced* effect of an update — "a transitive transfer from the locations
+identified as the sources" (section 5.2).  :func:`trace_step` resolves a
+right-hand side at a given position in a straight-line body to the form
+``var + c`` and returns ``c``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..frontend.symtab import Symbol
+from ..il import nodes as N
+from . import utils
+from .fold import simplify
+
+
+def trace_step(expr: N.Expr, body: List[N.Stmt], position: int,
+               var: Symbol, depth: int = 0) -> Optional[int]:
+    """Trace ``expr`` (the RHS at ``body[position]``) to ``var + c``.
+
+    Returns the integer constant ``c``, or None when the expression is
+    not an affine update of ``var``'s iteration-entry value.
+    """
+    if depth > 8:
+        return None
+    expr = simplify(expr)
+    if isinstance(expr, N.VarRef):
+        if expr.sym == var:
+            # Reading var directly is its iteration-entry value only if
+            # no def of var precedes this point in the body.
+            if any(utils.stmt_writes_scalar(s) == var
+                   for s in body[:position]):
+                return None
+            return 0
+        return _trace_through_temp(expr.sym, body, position, var, depth)
+    if isinstance(expr, N.BinOp) and expr.op in ("+", "-"):
+        left, right = expr.left, expr.right
+        const: Optional[N.Const] = None
+        other: Optional[N.Expr] = None
+        if isinstance(right, N.Const):
+            const, other = right, left
+        elif isinstance(left, N.Const) and expr.op == "+":
+            const, other = left, right
+        if const is None or not isinstance(const.value, int):
+            return None
+        inner = trace_step(other, body, position, var, depth + 1)
+        if inner is None:
+            return None
+        delta = const.value if expr.op == "+" else -const.value
+        return inner + delta
+    return None
+
+
+def _trace_through_temp(temp: Symbol, body: List[N.Stmt], position: int,
+                        var: Symbol, depth: int) -> Optional[int]:
+    """Resolve a temp read at ``position`` through its nearest preceding
+    top-level definition."""
+    if temp.is_volatile or temp.address_taken:
+        return None
+    if temp.storage in ("global", "static", "extern"):
+        return None  # a call/store between def and use could change it
+    for i in range(position - 1, -1, -1):
+        stmt = body[i]
+        if utils.stmt_writes_scalar(stmt) == temp:
+            return trace_step(stmt.value, body, i, var, depth + 1)
+        if temp in utils.symbols_defined_in([stmt]):
+            return None  # nested/conditional def in between
+        if isinstance(stmt, (N.CallStmt, N.Goto, N.LabelStmt)):
+            return None
+        if isinstance(stmt, N.Assign) and isinstance(stmt.value,
+                                                     N.CallExpr):
+            return None
+    return None
+
+
+def reads_through_chain(expr: N.Expr, body: List[N.Stmt], position: int,
+                        sym: Symbol, depth: int = 0) -> bool:
+    """Does ``expr`` (resolving temp chains backward) depend on ``sym``?"""
+    if depth > 8:
+        return False
+    for v in N.vars_read(expr):
+        if v == sym:
+            return True
+        for i in range(position - 1, -1, -1):
+            stmt = body[i]
+            if utils.stmt_writes_scalar(stmt) == v:
+                if reads_through_chain(stmt.value, body, i, sym,
+                                       depth + 1):
+                    return True
+                break
+    return False

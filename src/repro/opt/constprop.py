@@ -1,0 +1,236 @@
+"""Constant propagation with unreachable-code elimination (section 8).
+
+Inlining makes constant propagation "essential (and often creates more
+dead or unreachable code!)".  The paper rejects IF-conversion, basic
+block reconstruction, and Wegman–Zadeck, and instead uses a worklist
+heuristic:
+
+    "During constant propagation, the compiler eliminates code that is
+    detected as unreachable due to if conditions being simplified to
+    false or true, loops which are detected as having zero iterations,
+    etc.  When a statement is eliminated as being unreachable, all
+    statements that its definition reaches are added to a list.  All
+    constant assignments whose definitions can reach any statement in
+    this list are then added to the heap for another round of possible
+    propagation."
+
+We implement exactly that shape: propagate → fold → prune unreachable
+branches → the pruning re-seeds the worklist → repeat.  Statements
+beyond always-taken branches are left for the separate postpass
+(:func:`repro.opt.deadcode._prune_unreachable_tails` runs as part of
+DCE), matching the paper's division of labour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Union
+
+from ..analysis.flowgraph import FlowGraph, FlowNode, MEMORY
+from ..analysis.usedef import UseDefChains
+from ..frontend.symtab import Symbol
+from ..il import nodes as N
+from . import utils
+from .fold import simplify
+
+
+@dataclass
+class ConstPropStats:
+    rounds: int = 0
+    constants_propagated: int = 0
+    branches_folded: int = 0
+    loops_deleted: int = 0
+    statements_deleted: int = 0
+
+
+def propagate_constants(fn: N.ILFunction,
+                        globals_: Sequence[N.GlobalVar] = (),
+                        max_rounds: int = 50) -> ConstPropStats:
+    stats = ConstPropStats()
+    while stats.rounds < max_rounds:
+        stats.rounds += 1
+        changed = _one_round(fn, globals_, stats)
+        if not changed:
+            break
+    return stats
+
+
+def _one_round(fn: N.ILFunction, globals_: Sequence[N.GlobalVar],
+               stats: ConstPropStats) -> bool:
+    graph = FlowGraph(fn)
+    chains = UseDefChains(graph, globals_)
+    consts = _constant_defs(graph, chains)
+    changed = _rewrite_uses(graph, chains, consts, stats)
+    changed |= _simplify_all(fn.body)
+    changed |= _prune_folded_branches(fn, stats)
+    return changed
+
+
+def _constant_defs(graph: FlowGraph,
+                   chains: UseDefChains) -> Dict[FlowNode, N.Const]:
+    """Flow nodes that assign a constant to a scalar."""
+    out: Dict[FlowNode, N.Const] = {}
+    for node in graph.nodes:
+        stmt = node.stmt
+        if node.kind == "assign" and isinstance(stmt, N.Assign) \
+                and isinstance(stmt.target, N.VarRef) \
+                and isinstance(stmt.value, N.Const) \
+                and not stmt.target.is_volatile:
+            out[node] = stmt.value
+    return out
+
+
+def _rewrite_uses(graph: FlowGraph, chains: UseDefChains,
+                  consts: Dict[FlowNode, N.Const],
+                  stats: ConstPropStats) -> bool:
+    changed = False
+    for node in graph.nodes:
+        stmt = node.stmt
+        if stmt is None:
+            continue
+        for sym in [u for u in chains.uses_of(node)
+                    if isinstance(u, Symbol)]:
+            if sym.is_volatile or sym in chains.aliased:
+                continue
+            value = _single_constant(chains, node, sym, consts)
+            if value is None:
+                continue
+            replacement = N.Const(value=value.value, ctype=sym.ctype
+                                  if sym.ctype.is_scalar else value.ctype)
+            if _substitute_use(node, stmt, sym, replacement):
+                stats.constants_propagated += 1
+                changed = True
+    return changed
+
+
+def _single_constant(chains: UseDefChains, node: FlowNode, sym: Symbol,
+                     consts: Dict[FlowNode, N.Const]
+                     ) -> Optional[N.Const]:
+    defs = chains.defs_reaching(node, sym)
+    if not defs:
+        return None
+    values: Set[Union[int, float]] = set()
+    for d in defs:
+        const = consts.get(d.node)
+        if const is None:
+            return None
+        values.add(const.value)
+    if len(values) != 1:
+        return None
+    for d in defs:
+        return consts[d.node]
+    return None
+
+
+def _substitute_use(node: FlowNode, stmt: N.Stmt, sym: Symbol,
+                    replacement: N.Const) -> bool:
+    """Substitute sym in the parts of ``stmt`` this flow node models."""
+    before = _stmt_signature(stmt)
+    if node.kind in ("assign", "call", "return", "cond"):
+        utils.substitute_in_stmt(stmt, sym, replacement)
+    elif node.kind == "do_init":
+        assert isinstance(stmt, N.DoLoop)
+        stmt.lo = utils.substitute_var(stmt.lo, sym, replacement)
+        if sym != stmt.var:
+            stmt.hi = utils.substitute_var(stmt.hi, sym, replacement)
+    else:
+        return False
+    return _stmt_signature(stmt) != before
+
+
+def _stmt_signature(stmt: N.Stmt) -> str:
+    from ..il.printer import format_stmt
+    try:
+        return "\n".join(format_stmt(stmt))
+    except TypeError:
+        return repr(stmt)
+
+
+def _simplify_all(stmts: List[N.Stmt]) -> bool:
+    changed = False
+
+    def update(expr: N.Expr) -> N.Expr:
+        nonlocal changed
+        new = simplify(expr)
+        if not N.expr_equal(new, expr):
+            changed = True
+            return new
+        return expr
+
+    for stmt in N.walk_statements(stmts):
+        if isinstance(stmt, N.Assign):
+            stmt.value = update(stmt.value)
+            if isinstance(stmt.target, N.Mem):
+                addr = update(stmt.target.addr)
+                if addr is not stmt.target.addr:
+                    stmt.target = N.Mem(addr=addr,
+                                        ctype=stmt.target.ctype)
+        elif isinstance(stmt, N.IfStmt):
+            stmt.cond = update(stmt.cond)
+        elif isinstance(stmt, N.WhileLoop):
+            stmt.cond = update(stmt.cond)
+        elif isinstance(stmt, N.DoLoop):
+            stmt.lo = update(stmt.lo)
+            stmt.hi = update(stmt.hi)
+        elif isinstance(stmt, N.Return) and stmt.value is not None:
+            stmt.value = update(stmt.value)
+        elif isinstance(stmt, N.CallStmt):
+            stmt.call = N.CallExpr(
+                name=stmt.call.name,
+                args=[update(a) for a in stmt.call.args],
+                ctype=stmt.call.ctype)
+    return changed
+
+
+def _prune_folded_branches(fn: N.ILFunction,
+                           stats: ConstPropStats) -> bool:
+    """Splice out branches whose conditions folded to constants."""
+    changed = False
+    for owner in list(utils.each_stmt_list(fn.body)):
+        index = 0
+        while index < len(owner):
+            stmt = owner[index]
+            if isinstance(stmt, N.IfStmt) and isinstance(stmt.cond,
+                                                         N.Const):
+                taken = stmt.then if stmt.cond.value else stmt.otherwise
+                dropped = stmt.otherwise if stmt.cond.value else stmt.then
+                if utils.labels_in(dropped) & utils.gotos_in(fn.body):
+                    index += 1
+                    continue  # the dead branch is a goto target
+                stats.branches_folded += 1
+                stats.statements_deleted += utils.count_statements(dropped)
+                owner[index:index + 1] = taken
+                changed = True
+                continue
+            if isinstance(stmt, N.WhileLoop) and N.is_const(stmt.cond, 0):
+                if not (utils.labels_in(stmt.body)
+                        & utils.gotos_in(fn.body)):
+                    stats.loops_deleted += 1
+                    stats.statements_deleted += utils.count_statements(
+                        stmt.body)
+                    del owner[index]
+                    changed = True
+                    continue
+            if isinstance(stmt, N.DoLoop) and _known_zero_trip(stmt):
+                if not (utils.labels_in(stmt.body)
+                        & utils.gotos_in(fn.body)):
+                    stats.loops_deleted += 1
+                    stats.statements_deleted += utils.count_statements(
+                        stmt.body)
+                    # Fortran semantics: the loop variable is still set.
+                    owner[index] = N.Assign(
+                        target=N.VarRef(sym=stmt.var,
+                                        ctype=stmt.var.ctype),
+                        value=N.clone_expr(stmt.lo))
+                    changed = True
+                    continue
+            index += 1
+    return changed
+
+
+def _known_zero_trip(loop: N.DoLoop) -> bool:
+    if not (isinstance(loop.lo, N.Const) and isinstance(loop.hi, N.Const)):
+        return False
+    if loop.step > 0:
+        return loop.lo.value > loop.hi.value
+    return loop.lo.value < loop.hi.value

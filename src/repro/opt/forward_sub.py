@@ -1,0 +1,229 @@
+"""Forward substitution with the paper's blocking/backtracking heuristic.
+
+Section 5.3: rather than Morel–Renvoise partial redundancy machinery, the
+Titan compiler substitutes assignments forward through a loop body and,
+"when a statement is rejected for substitution only because a later
+statement redefines a variable used by that statement, the later
+statement is marked as *blocking* the first statement.  When a blocking
+statement is substituted forward, all the statements it blocks are
+reexamined."
+
+This module is that engine.  It operates on one statement list (the
+straight-line spine of a loop body or block).  Reads *inside* nested
+statements can be substituted when the defining expression is invariant
+over the nested region; a definition inside a nested region blocks.
+
+The caller (IV substitution, the driver) is responsible for re-invoking
+after it removes blocking statements; :class:`SubstitutionStats` exposes
+the pass/backtrack counts that experiment E5 reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from ..frontend.symtab import Symbol
+from ..il import nodes as N
+from . import utils
+from .fold import simplify
+
+
+@dataclass
+class SubstitutionStats:
+    sweeps: int = 0
+    substitutions: int = 0
+    blocked: int = 0
+    backtracks: int = 0
+    # sid of blocking stmt -> sids it blocks (diagnostic mirror of the
+    # paper's blocking lists).
+    blocking: Dict[int, Set[int]] = field(default_factory=dict)
+
+
+def _substitutable_rhs(expr: N.Expr, aggressive: bool) -> bool:
+    """May this RHS be duplicated into its use sites?
+
+    Pure, no loads (a later store could alias), no volatile, no calls.
+    Non-aggressive mode only moves trivially cheap expressions; inside
+    loop bodies the vectorizer is "safe in propagating address constants
+    and performing induction variable substitution because strength
+    reduction and subexpression elimination will undo any damage"
+    (section 11), so aggressive mode moves any pure expression.
+    """
+    if utils.expr_has_call(expr) or utils.expr_has_load(expr) \
+            or utils.expr_has_volatile(expr):
+        return False
+    if aggressive:
+        return True
+    if isinstance(expr, (N.Const, N.VarRef, N.AddrOf)):
+        return True
+    # Address constants (`&x + 4`) propagate freely even in conservative
+    # mode: "the vectorizer is safe in propagating address constants ...
+    # because strength reduction and subexpression elimination will undo
+    # any damage" (section 11).
+    return expr.ctype.is_pointer and _is_address_expr(expr)
+
+
+def _is_address_expr(expr: N.Expr) -> bool:
+    if isinstance(expr, (N.Const, N.AddrOf, N.VarRef)):
+        return True
+    if isinstance(expr, N.BinOp) and expr.op in ("+", "-", "*"):
+        return _is_address_expr(expr.left) and _is_address_expr(expr.right)
+    if isinstance(expr, N.Cast):
+        return _is_address_expr(expr.operand)
+    return False
+
+
+def _candidate_target(stmt: N.Stmt) -> Optional[Symbol]:
+    if not isinstance(stmt, N.Assign) \
+            or not isinstance(stmt.target, N.VarRef):
+        return None
+    sym = stmt.target.sym
+    if sym.is_volatile or sym.address_taken:
+        return None
+    if sym.storage in ("global", "static", "extern"):
+        return None
+    return sym
+
+
+def forward_substitute(stmts: List[N.Stmt], aggressive: bool = False,
+                       stats: Optional[SubstitutionStats] = None,
+                       max_sweeps: Optional[int] = None
+                       ) -> SubstitutionStats:
+    """Run forward substitution over one statement list to fixpoint.
+
+    Each sweep walks the list once; a sweep that performs a substitution
+    may unblock earlier statements, so we sweep again — bounded by the
+    paper's worst case of n passes (n = number of statements).
+    """
+    stats = stats or SubstitutionStats()
+    limit = max_sweeps if max_sweeps is not None else len(stmts) + 1
+    while stats.sweeps < limit:
+        stats.sweeps += 1
+        changed = _sweep(stmts, aggressive, stats)
+        if not changed:
+            break
+        stats.backtracks += 1
+    if stats.backtracks:
+        stats.backtracks -= 1  # the last sweep confirmed the fixpoint
+    return stats
+
+
+def _sweep(stmts: List[N.Stmt], aggressive: bool,
+           stats: SubstitutionStats) -> bool:
+    changed = False
+    for index, stmt in enumerate(stmts):
+        sym = _candidate_target(stmt)
+        if sym is None:
+            continue
+        rhs = stmt.value
+        if not _substitutable_rhs(rhs, aggressive):
+            continue
+        if any(isinstance(v, N.VarRef) and v.sym == sym
+               for v in N.walk_expr(rhs)):
+            continue  # self-referential update (an IV, handled elsewhere)
+        rhs_vars = set(N.vars_read(rhs))
+        changed |= _substitute_from(stmts, index, sym, rhs, rhs_vars,
+                                    aggressive, stats)
+    return changed
+
+
+def _substitute_from(stmts: List[N.Stmt], def_index: int, sym: Symbol,
+                     rhs: N.Expr, rhs_vars: Set[Symbol],
+                     aggressive: bool,
+                     stats: SubstitutionStats) -> bool:
+    changed = False
+    for later_index in range(def_index + 1, len(stmts)):
+        later = stmts[later_index]
+        if isinstance(later, N.Return):
+            # The return's own expression still sees the definition;
+            # nothing after it on this path does.
+            if later.value is not None and _reads_sym(later, sym):
+                utils.substitute_in_stmt(later, sym, rhs)
+                _resimplify(later)
+                stats.substitutions += 1
+                changed = True
+            break
+        if _is_flow_barrier(later):
+            # A label makes this point reachable without the definition;
+            # a goto means anything after is on another path.
+            break
+        inner_defs = utils.symbols_defined_in([later])
+        reads = _reads_sym(later, sym)
+        nested = bool(later.substatements())
+        if reads:
+            if nested:
+                # Substituting into a nested region requires the RHS to
+                # be invariant over it.
+                if inner_defs & (rhs_vars | {sym}):
+                    _record_block(stats, later, stmts[def_index])
+                    break
+                utils.substitute_in_stmt(later, sym, rhs)
+                _substitute_nested(later, sym, rhs)
+                _resimplify(later)
+                stats.substitutions += 1
+                changed = True
+            else:
+                utils.substitute_in_stmt(later, sym, rhs)
+                _resimplify(later)
+                stats.substitutions += 1
+                changed = True
+        if sym in inner_defs:
+            break  # a new definition of sym: later uses see that one
+        if inner_defs & rhs_vars:
+            _record_block(stats, later, stmts[def_index])
+            break  # RHS value is stale past this point
+    return changed
+
+
+def _is_flow_barrier(stmt: N.Stmt) -> bool:
+    if isinstance(stmt, (N.LabelStmt, N.Goto, N.Return)):
+        return True
+    # Nested labels can be jumped to from outside the region.
+    return any(isinstance(s, N.LabelStmt)
+               for s in N.walk_statements([stmt]))
+
+
+def _substitute_nested(stmt: N.Stmt, sym: Symbol, rhs: N.Expr) -> None:
+    for sublist in stmt.substatements():
+        for sub in sublist:
+            utils.substitute_in_stmt(sub, sym, rhs)
+            _substitute_nested(sub, sym, rhs)
+            _resimplify(sub)
+
+
+def _reads_sym(stmt: N.Stmt, sym: Symbol) -> bool:
+    if sym in utils.stmt_reads(stmt):
+        return True
+    for sublist in stmt.substatements():
+        for sub in sublist:
+            if _reads_sym(sub, sym):
+                return True
+    return False
+
+
+def _resimplify(stmt: N.Stmt) -> None:
+    if isinstance(stmt, N.Assign):
+        stmt.value = simplify(stmt.value)
+        if isinstance(stmt.target, N.Mem):
+            stmt.target = N.Mem(addr=simplify(stmt.target.addr),
+                                ctype=stmt.target.ctype)
+    elif isinstance(stmt, N.IfStmt):
+        stmt.cond = simplify(stmt.cond)
+    elif isinstance(stmt, N.WhileLoop):
+        stmt.cond = simplify(stmt.cond)
+    elif isinstance(stmt, N.DoLoop):
+        stmt.lo = simplify(stmt.lo)
+        stmt.hi = simplify(stmt.hi)
+    elif isinstance(stmt, N.Return) and stmt.value is not None:
+        stmt.value = simplify(stmt.value)
+    elif isinstance(stmt, N.CallStmt):
+        stmt.call = N.CallExpr(name=stmt.call.name,
+                               args=[simplify(a) for a in stmt.call.args],
+                               ctype=stmt.call.ctype)
+
+
+def _record_block(stats: SubstitutionStats, blocker: N.Stmt,
+                  blocked: N.Stmt) -> None:
+    stats.blocked += 1
+    stats.blocking.setdefault(blocker.sid, set()).add(blocked.sid)

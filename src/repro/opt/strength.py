@@ -1,0 +1,261 @@
+"""Dependence-driven strength reduction (section 6, optimization 3).
+
+"Because classic vectorizing transformations such as induction variable
+substitution deoptimize programs that do not vectorize, strength
+reduction is a very important optimization in the Ardent compiler.  Our
+algorithm is unique in that it utilizes the array dependence graph to
+simultaneously reduce expensive operations, remove loop invariant
+expressions, and eliminate common subexpressions."
+
+For each residual (non-vector, non-parallel) DO loop with a
+straight-line body this pass:
+
+* **reduces** every affine address ``inv + c*i + k`` to a pointer
+  temporary initialized in the preheader and bumped by ``c*step`` at the
+  bottom of the body — undoing IV-substitution's multiplications
+  (section 11: the vectorizer can be cavalier *because* this pass
+  repairs scalar loops);
+* **CSEs addresses**: references sharing ``(inv, c)`` share one pointer
+  temp, differing only by a constant byte offset;
+* **hoists** loop-invariant arithmetic subexpressions (no loads, no
+  division — a hoisted fault would change semantics) into the
+  preheader.
+
+The pass is careful about parallelism, exactly as the paper warns:
+strength-reduced loops become sequential, so it never touches a loop the
+vectorizer claimed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..dependence.refs import _NotAffine, _ParseState
+from ..frontend.ctypes_ import INT, PointerType
+from ..frontend.symtab import Symbol, SymbolTable
+from ..il import nodes as N
+from . import utils
+from .fold import simplify
+
+
+@dataclass
+class StrengthStats:
+    loops_examined: int = 0
+    addresses_reduced: int = 0
+    pointer_temps: int = 0
+    invariants_hoisted: int = 0
+
+
+class StrengthReduction:
+    def __init__(self, symtab: SymbolTable):
+        self.symtab = symtab
+        self.stats = StrengthStats()
+
+    def run(self, fn: N.ILFunction) -> StrengthStats:
+        self._fn = fn
+
+        def visit(loop: N.Stmt, owner: List[N.Stmt], index: int) -> None:
+            if isinstance(loop, N.DoLoop) and not loop.vector \
+                    and not loop.parallel:
+                self._process(loop, owner)
+
+        utils.for_each_loop(fn.body, visit)
+        return self.stats
+
+    # ------------------------------------------------------------------
+
+    def _process(self, loop: N.DoLoop, owner: List[N.Stmt]) -> None:
+        if not all(isinstance(s, N.Assign)
+                   and not isinstance(s.value, N.CallExpr)
+                   for s in loop.body):
+            return
+        self.stats.loops_examined += 1
+        defined = utils.symbols_defined_in(loop.body)
+        self._reduce_addresses(loop, owner, defined)
+        # Recompute: address reduction added pointer bumps to the body.
+        self._hoist_invariants(loop, owner,
+                               utils.symbols_defined_in(loop.body))
+
+    # -- address strength reduction ------------------------------------------
+
+    def _reduce_addresses(self, loop: N.DoLoop, owner: List[N.Stmt],
+                          defined) -> None:
+        loop_var = loop.var
+        groups: Dict[Tuple, Tuple[Symbol, int]] = {}
+        preheader: List[N.Stmt] = []
+        bumps: List[N.Stmt] = []
+
+        def reduce_addr(addr: N.Expr, elem_ctype) -> Optional[N.Expr]:
+            parsed = self._parse(addr, loop_var, defined)
+            if parsed is None:
+                return None
+            key, coeff, offset, rebuild_base = parsed
+            if coeff == 0:
+                return None
+            if key not in groups:
+                ptr = self.symtab.fresh_temp(
+                    PointerType(base=elem_ctype.unqualified()), "sr_ptr")
+                self._fn.local_syms.append(ptr)
+                base0 = simplify(N.BinOp(
+                    op="+", left=rebuild_base,
+                    right=N.BinOp(
+                        op="+",
+                        left=N.BinOp(op="*", left=N.int_const(coeff),
+                                     right=N.clone_expr(loop.lo),
+                                     ctype=INT),
+                        right=N.int_const(offset), ctype=INT),
+                    ctype=ptr.ctype))
+                preheader.append(N.Assign(
+                    target=N.VarRef(sym=ptr, ctype=ptr.ctype),
+                    value=base0))
+                bumps.append(N.Assign(
+                    target=N.VarRef(sym=ptr, ctype=ptr.ctype),
+                    value=N.BinOp(op="+",
+                                  left=N.VarRef(sym=ptr,
+                                                ctype=ptr.ctype),
+                                  right=N.int_const(coeff * loop.step),
+                                  ctype=ptr.ctype)))
+                groups[key] = (ptr, offset)
+                self.stats.pointer_temps += 1
+            ptr, base_offset = groups[key]
+            delta = offset - base_offset
+            self.stats.addresses_reduced += 1
+            expr: N.Expr = N.VarRef(sym=ptr, ctype=ptr.ctype)
+            if delta:
+                expr = N.BinOp(op="+", left=expr,
+                               right=N.int_const(delta),
+                               ctype=ptr.ctype)
+            return expr
+
+        for stmt in loop.body:
+            assert isinstance(stmt, N.Assign)
+            stmt.value = _map_mems(stmt.value, reduce_addr)
+            if isinstance(stmt.target, N.Mem):
+                new_addr = reduce_addr(stmt.target.addr,
+                                       stmt.target.ctype)
+                if new_addr is not None:
+                    stmt.target = N.Mem(addr=new_addr,
+                                        ctype=stmt.target.ctype)
+        if not groups:
+            return
+        position = owner.index(loop)
+        owner[position:position] = preheader
+        loop.body.extend(bumps)
+
+    def _parse(self, addr: N.Expr, loop_var: Symbol, defined
+               ) -> Optional[Tuple[Tuple, int, int, N.Expr]]:
+        """Parse ``addr`` = invariant + c*loop_var + k.  Returns a
+        hashable group key (invariant part, c), c, k, and an expression
+        rebuilding the invariant part."""
+        state = _ParseState({loop_var}, _Invariants(defined, loop_var))
+        try:
+            state.walk(addr, 1)
+        except _NotAffine:
+            return None
+        coeff = state.coeffs.get(loop_var, 0)
+        terms = tuple(sorted(((s.uid, c)
+                              for s, c in state.symbolic.items() if c),
+                             key=lambda t: t[0]))
+        base = state.base
+        key = (base[0] if base else None,
+               base[1].uid if base else None, terms, coeff)
+        # Rebuild the invariant portion as an expression.
+        parts: List[N.Expr] = []
+        if base is not None:
+            kind, sym = base
+            node = N.AddrOf(sym=sym, ctype=PointerType(base=sym.ctype)) \
+                if kind == "array" else N.VarRef(sym=sym, ctype=sym.ctype)
+            parts.append(node)
+        for s, c in sorted(state.symbolic.items(), key=lambda t: t[0].uid):
+            if not c:
+                continue
+            term: N.Expr = N.VarRef(sym=s, ctype=s.ctype)
+            if c != 1:
+                term = N.BinOp(op="*", left=N.int_const(c), right=term,
+                               ctype=INT)
+            parts.append(term)
+        if not parts:
+            parts.append(N.int_const(0))
+        rebuilt = parts[0]
+        for part in parts[1:]:
+            rebuilt = N.BinOp(op="+", left=rebuilt, right=part,
+                              ctype=rebuilt.ctype)
+        return key, coeff, state.offset, rebuilt
+
+    # -- invariant hoisting -------------------------------------------------------
+
+    def _hoist_invariants(self, loop: N.DoLoop, owner: List[N.Stmt],
+                          defined) -> None:
+        hoisted: List[Tuple[N.Expr, Symbol]] = []
+
+        def maybe_hoist(expr: N.Expr) -> N.Expr:
+            if not isinstance(expr, N.BinOp):
+                return expr
+            if expr.op in ("/", "%"):
+                return expr  # hoisting could introduce a fault
+            if not _worth_hoisting(expr):
+                return expr
+            if not utils.expr_is_invariant(expr, defined):
+                return expr
+            if any(isinstance(e, N.VarRef) and e.sym == loop.var
+                   for e in N.walk_expr(expr)):
+                return expr
+            for prior, sym in hoisted:
+                if N.expr_equal(prior, expr):
+                    return N.VarRef(sym=sym, ctype=sym.ctype)
+            temp = self.symtab.fresh_temp(expr.ctype.unqualified()
+                                          if expr.ctype.is_scalar
+                                          else INT, "inv")
+            self._fn.local_syms.append(temp)
+            hoisted.append((expr, temp))
+            self.stats.invariants_hoisted += 1
+            return N.VarRef(sym=temp, ctype=temp.ctype)
+
+        for stmt in loop.body:
+            if isinstance(stmt, N.Assign):
+                stmt.value = N.map_expr(stmt.value, maybe_hoist)
+                if isinstance(stmt.target, N.Mem):
+                    stmt.target = N.Mem(
+                        addr=N.map_expr(stmt.target.addr, maybe_hoist),
+                        ctype=stmt.target.ctype)
+        if hoisted:
+            position = owner.index(loop)
+            owner[position:position] = [
+                N.Assign(target=N.VarRef(sym=sym, ctype=sym.ctype),
+                         value=expr)
+                for expr, sym in hoisted]
+
+
+class _Invariants:
+    """Invariant predicate: not defined in the body, not the loop var,
+    not address-taken (a store could change it)."""
+
+    def __init__(self, defined, loop_var: Symbol):
+        self.defined = set(defined)
+        self.loop_var = loop_var
+
+    def __contains__(self, sym: Symbol) -> bool:
+        return sym not in self.defined and sym != self.loop_var \
+            and not sym.address_taken and not sym.is_volatile
+
+
+def _map_mems(expr: N.Expr, reduce_addr) -> N.Expr:
+    """Rewrite Mem addresses bottom-up via ``reduce_addr``."""
+    children = [_map_mems(c, reduce_addr) for c in expr.children()]
+    if children:
+        expr = expr.replace_children(children)
+    if isinstance(expr, N.Mem):
+        new_addr = reduce_addr(expr.addr, expr.ctype)
+        if new_addr is not None:
+            return N.Mem(addr=new_addr, ctype=expr.ctype)
+    return expr
+
+
+def _worth_hoisting(expr: N.BinOp) -> bool:
+    """Only hoist real computations, not single leaves."""
+    interesting = 0
+    for node in N.walk_expr(expr):
+        if isinstance(node, N.BinOp):
+            interesting += 1
+    return interesting >= 1 and expr.ctype.is_float

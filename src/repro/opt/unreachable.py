@@ -1,0 +1,58 @@
+"""Unreachable-code elimination by basic-block reconstruction.
+
+This is the approach the paper *rejects* for production use ("Not only
+did both techniques require reanalyzing the entire program...") but
+which experiment E7 needs as the completeness baseline: rebuild the flow
+graph, mark reachability from entry, and delete every leaf statement
+with no reachable flow node.  Structured statements whose condition node
+is unreachable are deleted wholesale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Set
+
+from ..analysis.flowgraph import FlowGraph
+from ..il import nodes as N
+from . import utils
+
+
+@dataclass
+class UnreachableStats:
+    statements_removed: int = 0
+    passes: int = 0
+
+
+def remove_unreachable_cfg(fn: N.ILFunction) -> UnreachableStats:
+    """The 'rebuild basic blocks' baseline (section 8, option 2)."""
+    stats = UnreachableStats()
+    while True:
+        stats.passes += 1
+        graph = FlowGraph(fn)
+        reachable = graph.reachable()
+        reachable_sids: Set[int] = set()
+        for node in reachable:
+            if node.stmt is not None:
+                reachable_sids.add(node.stmt.sid)
+        removed = 0
+        for owner in list(utils.each_stmt_list(fn.body)):
+            for stmt in list(owner):
+                if stmt.sid not in reachable_sids:
+                    owner.remove(stmt)
+                    removed += utils.count_statements([stmt])
+        stats.statements_removed += removed
+        if removed == 0 or stats.passes > 20:
+            return stats
+
+
+def count_unreachable(fn: N.ILFunction) -> int:
+    """How many statements are currently unreachable (oracle count)."""
+    graph = FlowGraph(fn)
+    reachable_sids = {node.stmt.sid for node in graph.reachable()
+                      if node.stmt is not None}
+    dead = 0
+    for stmt in fn.all_statements():
+        if stmt.sid not in reachable_sids:
+            dead += 1
+    return dead

@@ -1,0 +1,266 @@
+"""The Titan C compiler driver (section 2's strategy of compilation).
+
+Phase order implements the paper's placement arguments:
+
+1. front end (preprocess → parse → lower to IL);
+2. inline expansion from the program and any procedure databases;
+3. scalar optimization — copy propagation, **while→DO conversion**
+   ("immediately after use-def chains have been constructed"),
+   **induction-variable substitution**, **constant propagation** with
+   unreachable-code elimination, forward substitution, dead-code
+   elimination — iterated, since each enables the others;
+4. vectorization and parallelization (Allen–Kennedy);
+5. dependence-driven optimizations for the loops that did *not*
+   vectorize (section 6): register pipelining and strength reduction,
+   undoing IV-substitution damage on scalar loops;
+6. final cleanup DCE.
+
+Every stage can be dumped (``dump_stages``) — the golden tests compare
+the dumps against the transcripts printed in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from .frontend.lower import compile_to_il
+from .il import nodes as N
+from .il.printer import format_function, format_program
+from .il.validate import validate_program
+from .inline.database import InlineDatabase
+from .inline.inliner import InlineOptions, InlineStats, inline_program
+from .opt import utils
+from .opt.constprop import ConstPropStats, propagate_constants
+from .opt.deadcode import DCEStats, eliminate_dead_code
+from .opt.forward_sub import forward_substitute
+from .opt.ivsub import IVSubStats, InductionVariableSubstitution
+from .opt.while_to_do import WhileToDo, WhileToDoStats
+from .vectorize.vectorizer import (VectorizeOptions, VectorizeStats,
+                                   Vectorizer)
+
+
+@dataclass
+class CompilerOptions:
+    inline: bool = True
+    scalar_opt: bool = True
+    vectorize: bool = True
+    parallelize: bool = True
+    reg_pipeline: bool = True
+    strength_reduction: bool = True
+    vector_length: int = 32
+    max_vector_length: int = 2048
+    processors: int = 2
+    fortran_pointer_semantics: bool = False
+    strict_while_conversion: bool = False
+    # Section 10 future work (implemented): spread linked-list loops
+    # across processors.  Off by default — it asserts the paper's
+    # "each motion down a pointer goes to independent storage".
+    parallelize_lists: bool = False
+    # Section 5.2's planned loop splitting: pull termination-criteria
+    # computation into a serial chase so the work loop becomes a
+    # counted (vectorizable) DO loop.  Sound (dependence-checked), so
+    # on by default.
+    split_termination: bool = True
+    max_inline_statements: int = 500
+    dump_stages: bool = False
+    scalar_opt_rounds: int = 2
+
+
+@dataclass
+class StageDump:
+    stage: str
+    text: str
+
+
+@dataclass
+class CompilationResult:
+    program: N.ILProgram
+    options: CompilerOptions
+    stages: List[StageDump] = field(default_factory=list)
+    inline_stats: Optional[InlineStats] = None
+    while_to_do_stats: Dict[str, WhileToDoStats] = field(
+        default_factory=dict)
+    ivsub_stats: Dict[str, IVSubStats] = field(default_factory=dict)
+    constprop_stats: Dict[str, ConstPropStats] = field(
+        default_factory=dict)
+    dce_stats: Dict[str, DCEStats] = field(default_factory=dict)
+    vectorize_stats: Dict[str, VectorizeStats] = field(
+        default_factory=dict)
+    regpipe_stats: Dict[str, object] = field(default_factory=dict)
+    strength_stats: Dict[str, object] = field(default_factory=dict)
+    # Loop schedules (sid -> LoopSchedule) captured pre-strength-
+    # reduction; feed these to TitanSimulator(schedules=...).
+    schedules: Dict[int, object] = field(default_factory=dict)
+    listparallel_stats: Dict[str, object] = field(default_factory=dict)
+    cond_split_stats: Dict[str, object] = field(default_factory=dict)
+
+    def stage_text(self, stage: str) -> str:
+        for dump in self.stages:
+            if dump.stage == stage:
+                return dump.text
+        raise KeyError(stage)
+
+    def function_text(self, name: str) -> str:
+        return format_function(self.program.functions[name])
+
+
+class TitanCompiler:
+    """Front door: C source in, optimized (possibly vector/parallel)
+    IL program out, ready for the Titan simulator."""
+
+    def __init__(self, options: Optional[CompilerOptions] = None,
+                 database: Optional[InlineDatabase] = None):
+        self.options = options or CompilerOptions()
+        self.database = database
+
+    # ------------------------------------------------------------------
+
+    def compile(self, source: str, filename: str = "<input>",
+                headers: Optional[Dict[str, str]] = None
+                ) -> CompilationResult:
+        program = compile_to_il(source, filename, headers=headers)
+        return self.compile_program(program)
+
+    def compile_program(self, program: N.ILProgram) -> CompilationResult:
+        opts = self.options
+        result = CompilationResult(program=program, options=opts)
+        self._dump(result, "front-end")
+        if opts.inline:
+            result.inline_stats = inline_program(
+                program, self.database,
+                InlineOptions(
+                    max_callee_statements=opts.max_inline_statements))
+            self._dump(result, "inline")
+        if opts.scalar_opt:
+            for round_no in range(opts.scalar_opt_rounds):
+                self._scalar_round(program, result)
+            self._dump(result, "scalar-opt")
+        if opts.vectorize:
+            voptions = VectorizeOptions(
+                vector_length=opts.vector_length,
+                max_vector_length=opts.max_vector_length,
+                parallelize=opts.parallelize,
+                assume_no_alias=opts.fortran_pointer_semantics)
+            for name, fn in program.functions.items():
+                vectorizer = Vectorizer(program.symtab, voptions)
+                stats = vectorizer.run(fn)
+                result.vectorize_stats[name] = _merge_vec_stats(
+                    result.vectorize_stats.get(name), stats)
+            self._dump(result, "vectorize")
+        if opts.parallelize_lists:
+            from .vectorize.listparallel import ListParallelizer
+            for name, fn in program.functions.items():
+                parallelizer = ListParallelizer()
+                parallelizer.run(fn)
+                result.listparallel_stats[name] = parallelizer.stats
+            self._dump(result, "list-parallel")
+        if opts.reg_pipeline or opts.strength_reduction:
+            from .opt.regpipe import RegisterPipelining
+            from .opt.strength import StrengthReduction
+            from .sched.scheduler import LoopScheduler
+            for name, fn in program.functions.items():
+                if opts.reg_pipeline:
+                    pipe = RegisterPipelining(program.symtab)
+                    pipe.run(fn)
+                    result.regpipe_stats[name] = pipe.stats
+            # Schedules are derived while named-array dependence
+            # information is still visible (section 6: the dependence
+            # graph is "passed back to the code generation"); strength
+            # reduction afterwards rewrites addresses to pointer bumps,
+            # which would hide the aliasing structure.
+            scheduler = LoopScheduler()
+            for name, fn in program.functions.items():
+                scheduler.run(fn)
+            result.schedules = scheduler.schedules
+            for name, fn in program.functions.items():
+                if opts.strength_reduction:
+                    red = StrengthReduction(program.symtab)
+                    red.run(fn)
+                    result.strength_stats[name] = red.stats
+            self._dump(result, "dependence-opt")
+        if opts.scalar_opt:
+            for name, fn in program.functions.items():
+                eliminate_dead_code(fn, program.globals)
+            self._dump(result, "final")
+        validate_program(program)
+        return result
+
+    # ------------------------------------------------------------------
+
+    def _scalar_round(self, program: N.ILProgram,
+                      result: CompilationResult) -> None:
+        opts = self.options
+        for name, fn in program.functions.items():
+            # Copy propagation first, so while conditions that test a
+            # front-end temp (`while (temp != 0)`) expose the variable.
+            for lst in utils.each_stmt_list(fn.body):
+                forward_substitute(lst, aggressive=False)
+            wstats = WhileToDo(program.symtab,
+                               strict=opts.strict_while_conversion).run(fn)
+            _merge(result.while_to_do_stats, name, wstats,
+                   ("examined", "converted"))
+            if opts.split_termination:
+                from .opt.cond_split import TerminationSplitter
+                splitter = TerminationSplitter(program.symtab)
+                sstats = splitter.run(fn)
+                _merge(result.cond_split_stats, name, sstats,
+                       ("examined", "split"))
+            istats = InductionVariableSubstitution(program.symtab).run(fn)
+            _merge(result.ivsub_stats, name, istats,
+                   ("loops", "ivs_substituted", "sweeps", "backtracks",
+                    "substitutions"))
+            cstats = propagate_constants(fn, program.globals)
+            _merge(result.constprop_stats, name, cstats,
+                   ("rounds", "constants_propagated", "branches_folded",
+                    "loops_deleted", "statements_deleted"))
+            for lst in utils.each_stmt_list(fn.body):
+                forward_substitute(lst, aggressive=False)
+            dstats = eliminate_dead_code(fn, program.globals)
+            _merge(result.dce_stats, name, dstats,
+                   ("assignments_removed", "labels_removed",
+                    "empty_ifs_removed", "unreachable_removed",
+                    "iterations"))
+
+    def _dump(self, result: CompilationResult, stage: str) -> None:
+        if self.options.dump_stages:
+            result.stages.append(
+                StageDump(stage=stage,
+                          text=format_program(result.program)))
+
+
+def _merge(store: Dict[str, object], name: str, stats: object,
+           fields: tuple) -> None:
+    prior = store.get(name)
+    if prior is None:
+        store[name] = stats
+        return
+    for field_name in fields:
+        setattr(prior, field_name,
+                getattr(prior, field_name) + getattr(stats, field_name))
+    if hasattr(stats, "rejected") and hasattr(prior, "rejected"):
+        for key, value in stats.rejected.items():
+            prior.rejected[key] = prior.rejected.get(key, 0) + value
+
+
+def _merge_vec_stats(prior: Optional[VectorizeStats],
+                     stats: VectorizeStats) -> VectorizeStats:
+    if prior is None:
+        return stats
+    prior.loops_examined += stats.loops_examined
+    prior.loops_vectorized += stats.loops_vectorized
+    prior.loops_parallelized += stats.loops_parallelized
+    prior.vector_statements += stats.vector_statements
+    for key, value in stats.rejected.items():
+        prior.rejected[key] = prior.rejected.get(key, 0) + value
+    prior.outcomes.extend(stats.outcomes)
+    return prior
+
+
+def compile_c(source: str, options: Optional[CompilerOptions] = None,
+              database: Optional[InlineDatabase] = None,
+              headers: Optional[Dict[str, str]] = None
+              ) -> CompilationResult:
+    """One-call convenience used by examples, tests, and benchmarks."""
+    return TitanCompiler(options, database).compile(source,
+                                                    headers=headers)

@@ -1,0 +1,170 @@
+"""The Titan timing model, driven by interpreter cost events.
+
+Receives the dynamic operation stream from the interpreter (the shared
+execution semantics) and accumulates cycles under the machine model in
+:class:`TitanConfig`:
+
+* **unscheduled scalar code** pays full latencies per operation;
+* **scheduled loops** (the section 6 dependence-driven scheduler) pay
+  their initiation interval per iteration — operations inside are
+  counted but not individually charged;
+* **vector instructions** pay startup + elements (stride-penalized);
+* **parallel regions** divide their enclosed cycles across processors
+  and pay a fork/join startup.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..sched.scheduler import LoopSchedule
+from .config import TitanConfig
+
+
+@dataclass
+class OpCounters:
+    flops: int = 0
+    int_ops: int = 0
+    loads: int = 0
+    stores: int = 0
+    branches: int = 0
+    calls: int = 0
+    vector_instructions: int = 0
+    vector_elements: int = 0
+    parallel_loops: int = 0
+
+
+class TitanCostModel:
+    """A callable usable as the interpreter's ``cost_hook``."""
+
+    def __init__(self, config: Optional[TitanConfig] = None,
+                 schedules: Optional[Dict[int, LoopSchedule]] = None):
+        self.config = config or TitanConfig()
+        self.schedules = schedules or {}
+        self.cycles: float = 0.0
+        self.counters = OpCounters()
+        # Stack of (loop_sid, iterations) for active scheduled loops.
+        self._sched_stack: List[List] = []
+        # Stack of (sid, cycles_at_entry) for active parallel regions.
+        self._parallel_stack: List[List] = []
+
+    # ------------------------------------------------------------------
+
+    def __call__(self, kind: str, *details) -> None:
+        handler = getattr(self, "_on_" + kind, None)
+        if handler is not None:
+            handler(*details)
+
+    @property
+    def _suppressed(self) -> bool:
+        return bool(self._sched_stack)
+
+    def _charge(self, cycles: float) -> None:
+        if not self._suppressed:
+            self.cycles += cycles
+
+    # -- scalar operations ---------------------------------------------------
+
+    def _on_flop(self, op: str = "") -> None:
+        self.counters.flops += 1
+        self._charge(self.config.fp_latency)
+
+    def _on_intop(self, op: str = "") -> None:
+        self.counters.int_ops += 1
+        self._charge(self.config.int_latency)
+
+    def _on_load(self, ctype=None) -> None:
+        self.counters.loads += 1
+        self._charge(self.config.load_latency)
+
+    def _on_store(self, ctype=None) -> None:
+        self.counters.stores += 1
+        self._charge(self.config.store_latency)
+
+    def _on_branch(self) -> None:
+        self.counters.branches += 1
+        self._charge(self.config.branch_cycles)
+
+    def _on_call(self, name: str = "") -> None:
+        self.counters.calls += 1
+        self._charge(self.config.call_overhead)
+
+    # -- scheduled loops -----------------------------------------------------
+
+    def _on_do_enter(self, sid: int) -> None:
+        if sid in self.schedules:
+            self._sched_stack.append([sid, 0])
+
+    def _on_do_iter(self, sid: int) -> None:
+        if self._sched_stack and self._sched_stack[-1][0] == sid:
+            self._sched_stack[-1][1] += 1
+
+    def _on_do_exit(self, sid: int) -> None:
+        if self._sched_stack and self._sched_stack[-1][0] == sid:
+            _, iters = self._sched_stack.pop()
+            schedule = self.schedules[sid]
+            self._charge(schedule.initiation_interval * iters
+                         + self.config.branch_cycles)
+
+    # -- vector instructions ----------------------------------------------------
+
+    def _on_vector(self, op: str, length: int, stride: int) -> None:
+        cfg = self.config
+        self.counters.vector_instructions += 1
+        self.counters.vector_elements += length
+        if op not in ("load", "store", "int_op"):
+            self.counters.flops += length
+        per_element = cfg.vector_element_cycles
+        if op in ("load", "store") and abs(stride) != 1:
+            per_element *= cfg.vector_stride_penalty
+        self._charge(cfg.vector_startup + per_element * max(length, 0))
+
+    def _on_vector_reduce(self, op: str, length: int) -> None:
+        """A pipelined vector reduction: startup, one element per
+        cycle, plus a short tree tail to collapse the partial sums."""
+        cfg = self.config
+        self.counters.vector_instructions += 1
+        self.counters.vector_elements += length
+        self.counters.flops += length
+        tail = max(1, length).bit_length() * cfg.fp_issue
+        self._charge(cfg.vector_startup
+                     + cfg.vector_element_cycles * max(length, 0)
+                     + tail)
+
+    def _on_list_chase(self, count: int = 1) -> None:
+        """Serial pointer chase of a parallelized list loop: one
+        dependent load plus a branch per node (it cannot pipeline —
+        each address comes from the previous load)."""
+        self._charge(count * (self.config.load_latency
+                              + self.config.branch_cycles))
+
+    # -- parallel regions ----------------------------------------------------------
+
+    def _on_parallel_begin(self, sid: int) -> None:
+        self._parallel_stack.append([sid, self.cycles])
+
+    def _on_parallel_end(self, sid: int, trips: int) -> None:
+        if not self._parallel_stack \
+                or self._parallel_stack[-1][0] != sid:
+            return
+        _, start_cycles = self._parallel_stack.pop()
+        self.counters.parallel_loops += 1
+        cfg = self.config
+        inner = self.cycles - start_cycles
+        workers = max(1, min(cfg.processors, max(trips, 1)))
+        if workers > 1:
+            inner = inner / (workers * cfg.parallel_efficiency)
+        self.cycles = start_cycles + cfg.parallel_startup + inner
+
+    # -- reporting -------------------------------------------------------------------
+
+    @property
+    def seconds(self) -> float:
+        return self.config.seconds(self.cycles)
+
+    @property
+    def mflops(self) -> float:
+        if self.seconds == 0:
+            return 0.0
+        return self.counters.flops / self.seconds / 1e6

@@ -1,0 +1,88 @@
+"""The Titan simulator facade: execute a compiled program and time it.
+
+This is the substitution for the hardware the paper ran on (documented
+in DESIGN.md): one shared execution semantics (the IL interpreter) with
+the :class:`TitanCostModel` layered on top.  Scheduling information from
+the section 6 pass feeds the model, so the same binary-equivalent IL can
+be timed "as compiled" at different optimization levels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..il import nodes as N
+from ..interp.interpreter import Interpreter, Value
+from ..sched.scheduler import LoopSchedule, schedule_program
+from .config import TitanConfig
+from .cost_model import OpCounters, TitanCostModel
+
+
+@dataclass
+class TitanReport:
+    cycles: float
+    seconds: float
+    mflops: float
+    counters: OpCounters
+    result: Optional[Value] = None
+    stdout: str = ""
+
+    def speedup_over(self, other: "TitanReport") -> float:
+        if self.seconds == 0:
+            return float("inf")
+        return other.seconds / self.seconds
+
+
+class TitanSimulator:
+    """Runs one entry point of a compiled program under the machine
+    model and reports simulated time and operation counts."""
+
+    def __init__(self, program: N.ILProgram,
+                 config: Optional[TitanConfig] = None,
+                 use_scheduler: bool = True,
+                 schedules: Optional[Dict[int, LoopSchedule]] = None,
+                 memory_size: int = 1 << 22,
+                 max_steps: int = 50_000_000):
+        self.program = program
+        self.config = config or TitanConfig()
+        if schedules is None:
+            schedules = schedule_program(program, self.config) \
+                if use_scheduler else {}
+        elif not use_scheduler:
+            schedules = {}
+        self.schedules = schedules
+        self.cost_model = TitanCostModel(self.config, schedules)
+        self.interpreter = Interpreter(program,
+                                       memory_size=memory_size,
+                                       max_steps=max_steps,
+                                       cost_hook=self.cost_model)
+
+    # Convenience passthroughs for test setup.
+
+    def set_global_array(self, name: str, values: Sequence[Value]) -> None:
+        self.interpreter.set_global_array(name, values)
+
+    def global_array(self, name: str, count: int) -> List[Value]:
+        return self.interpreter.global_array(name, count)
+
+    def set_global_scalar(self, name: str, value: Value) -> None:
+        self.interpreter.set_global_scalar(name, value)
+
+    def global_scalar(self, name: str) -> Value:
+        return self.interpreter.global_scalar(name)
+
+    def run(self, entry: str = "main", *args: Value) -> TitanReport:
+        result = self.interpreter.run(entry, *args)
+        model = self.cost_model
+        return TitanReport(cycles=model.cycles, seconds=model.seconds,
+                           mflops=model.mflops, counters=model.counters,
+                           result=result,
+                           stdout=self.interpreter.stdout)
+
+
+def simulate(program: N.ILProgram, entry: str = "main",
+             config: Optional[TitanConfig] = None,
+             use_scheduler: bool = True, *args: Value) -> TitanReport:
+    return TitanSimulator(program, config,
+                          use_scheduler=use_scheduler).run(entry, *args)

@@ -1,0 +1,68 @@
+"""Tarjan's strongly-connected-components algorithm.
+
+Allen–Kennedy vector code generation partitions the dependence graph
+into SCCs: an SCC that is a single statement with no self-dependence can
+run in vector; a cyclic SCC (a recurrence) must stay sequential.
+Tarjan emits components in reverse topological order, which is exactly
+the order loop distribution needs (reversed).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Set
+
+
+def strongly_connected_components(n: int,
+                                  adjacency: Dict[int, Set[int]]
+                                  ) -> List[List[int]]:
+    """SCCs of the graph on nodes 0..n-1, in topological order
+    (every edge goes from an earlier component to a later one)."""
+    index_counter = [0]
+    stack: List[int] = []
+    lowlink = [0] * n
+    index = [-1] * n
+    on_stack = [False] * n
+    components: List[List[int]] = []
+
+    def strongconnect(v: int) -> None:
+        # Iterative Tarjan (explicit stack) to survive deep graphs.
+        work = [(v, iter(sorted(adjacency.get(v, ()))))]
+        index[v] = lowlink[v] = index_counter[0]
+        index_counter[0] += 1
+        stack.append(v)
+        on_stack[v] = True
+        while work:
+            node, successors = work[-1]
+            advanced = False
+            for w in successors:
+                if index[w] == -1:
+                    index[w] = lowlink[w] = index_counter[0]
+                    index_counter[0] += 1
+                    stack.append(w)
+                    on_stack[w] = True
+                    work.append((w, iter(sorted(adjacency.get(w, ())))))
+                    advanced = True
+                    break
+                if on_stack[w]:
+                    lowlink[node] = min(lowlink[node], index[w])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+            if lowlink[node] == index[node]:
+                component: List[int] = []
+                while True:
+                    w = stack.pop()
+                    on_stack[w] = False
+                    component.append(w)
+                    if w == node:
+                        break
+                components.append(sorted(component))
+
+    for v in range(n):
+        if index[v] == -1:
+            strongconnect(v)
+    # Tarjan yields reverse topological order.
+    return list(reversed(components))

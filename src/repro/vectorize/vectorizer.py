@@ -1,0 +1,699 @@
+"""Allen–Kennedy vector code generation for DO loops (sections 5, 9).
+
+For each innermost normalized DO loop:
+
+1. build the dependence graph under the current alias policy;
+2. partition into SCCs (Tarjan) and sort topologically;
+3. *loop distribution*: each acyclic single-statement component whose
+   statement is an affine memory store becomes a vector statement over
+   the whole index range; cyclic components (recurrences) stay in
+   sequential DO loops, in dependence order;
+4. *strip mining*: vector statements longer than the strip length are
+   wrapped in a strip loop computing ``vlen = min(VL, trip - vi)`` —
+   short constant-trip loops (the 4×4 graphics case, section 5.2) skip
+   the strip loop entirely;
+5. *parallelization*: a strip loop all of whose statements are vector
+   is emitted as ``do parallel`` (the paper's §9 output); a loop that
+   cannot be vectorized but has no loop-carried dependences (after
+   privatizing iteration-local scalars) is spread across processors
+   unchanged.
+
+The alias policy implements the paper's escape hatches: a ``safe``
+pragma on the loop or function, or the compiler option giving pointer
+parameters Fortran semantics.  Without them, pointer-based loops like
+the un-inlined daxpy are rejected — inlining + constant propagation is
+what turns those pointers into named arrays the analyzer can see
+through (the §9 punchline).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..dependence.graph import AliasPolicy, DependenceGraph
+from ..dependence.refs import AffineRef, parse_ref
+from ..frontend.ctypes_ import INT
+from ..frontend.symtab import Symbol, SymbolTable
+from ..il import nodes as N
+from ..opt import utils
+from ..opt.fold import const_int_value, simplify
+
+
+@dataclass
+class VectorizeOptions:
+    vector_length: int = 32
+    max_vector_length: int = 2048
+    parallelize: bool = True
+    assume_no_alias: bool = False  # the Fortran-pointer-semantics option
+    # Vectorize `s = s + a[i]`-style accumulations into VectorReduce.
+    # The reference semantics accumulate in index order, so results are
+    # bit-identical to the scalar loop.
+    vectorize_reductions: bool = True
+
+
+@dataclass
+class LoopOutcome:
+    loop_sid: int
+    vectorized: bool
+    parallelized: bool
+    vector_statements: int = 0
+    sequential_statements: int = 0
+    reason: str = ""
+
+
+@dataclass
+class VectorizeStats:
+    loops_examined: int = 0
+    loops_vectorized: int = 0
+    loops_parallelized: int = 0
+    vector_statements: int = 0
+    scalars_forwarded: int = 0
+    rejected: Dict[str, int] = field(default_factory=dict)
+    outcomes: List[LoopOutcome] = field(default_factory=list)
+
+    def reject(self, sid: int, reason: str) -> None:
+        self.rejected[reason] = self.rejected.get(reason, 0) + 1
+        self.outcomes.append(LoopOutcome(loop_sid=sid, vectorized=False,
+                                         parallelized=False,
+                                         reason=reason))
+
+
+class Vectorizer:
+    def __init__(self, symtab: SymbolTable,
+                 options: Optional[VectorizeOptions] = None):
+        self.symtab = symtab
+        self.options = options or VectorizeOptions()
+        self.stats = VectorizeStats()
+
+    def run(self, fn: N.ILFunction) -> VectorizeStats:
+        self._fn = fn
+
+        def visit(loop: N.Stmt, owner: List[N.Stmt], index: int) -> None:
+            if isinstance(loop, N.DoLoop) and not loop.vector \
+                    and not loop.parallel:
+                self._process(loop, owner)
+
+        utils.for_each_loop(fn.body, visit)
+        return self.stats
+
+    # ------------------------------------------------------------------
+
+    def _process(self, loop: N.DoLoop, owner: List[N.Stmt]) -> None:
+        self.stats.loops_examined += 1
+        reason = self._reject_reason(loop)
+        policy = AliasPolicy(assume_no_alias=(
+            self.options.assume_no_alias
+            or "safe" in loop.pragmas or "vector" in loop.pragmas
+            or "safe" in self._fn.pragmas))
+        if reason is not None:
+            # Maybe it can still run in parallel: an `if` inside, or —
+            # after inner loops were vectorized — a body of vector
+            # statements whose sections are independent across the
+            # outer index (the §9 `do parallel` around vector shape).
+            if reason in ("control-flow", "statement-kind") \
+                    and self.options.parallelize:
+                if self._try_parallel_only(loop, policy):
+                    return
+            self.stats.reject(loop.sid, reason)
+            return
+        self._forward_local_scalars(loop, policy)
+        graph = DependenceGraph(loop, policy)
+        body = loop.body
+        from .scc import strongly_connected_components
+        adjacency = graph.adjacency()
+        # Distribution cannot split a scalar flow between statements:
+        # without scalar expansion the per-iteration value pairing
+        # would break.  Welding scalar-dep endpoints into one SCC keeps
+        # them in the same (sequential) loop.
+        for edge in graph.edges:
+            if edge.reason.startswith("scalar") and edge.src != edge.dst:
+                adjacency[edge.src].add(edge.dst)
+                adjacency[edge.dst].add(edge.src)
+        sccs = strongly_connected_components(len(body), adjacency)
+        plan: List[Tuple[str, List[int]]] = []
+        for comp in sccs:
+            if self._component_vectorizable(comp, body, graph):
+                plan.append(("vector", comp))
+            elif self.options.vectorize_reductions \
+                    and self._component_reduction(comp, body, graph,
+                                                  loop):
+                plan.append(("reduce", comp))
+            elif plan and plan[-1][0] == "seq":
+                plan[-1][1].extend(comp)
+            else:
+                plan.append(("seq", list(comp)))
+        if not any(kind in ("vector", "reduce") for kind, _ in plan):
+            if self.options.parallelize \
+                    and self._try_parallel_only(loop, policy,
+                                                graph=graph):
+                return
+            self.stats.reject(loop.sid, "recurrence")
+            return
+        replacement = self._codegen(loop, plan, graph)
+        utils.replace_stmt(owner, loop, replacement)
+        n_vec = sum(1 for kind, comp in plan
+                    if kind in ("vector", "reduce"))
+        n_seq = sum(len(comp) for kind, comp in plan if kind == "seq")
+        self.stats.loops_vectorized += 1
+        self.stats.vector_statements += n_vec
+        parallel = any(isinstance(s, N.DoLoop) and s.parallel
+                       for s in replacement) or any(
+            isinstance(s, N.VectorAssign) for s in replacement)
+        if parallel:
+            self.stats.loops_parallelized += 1
+        self.stats.outcomes.append(LoopOutcome(
+            loop_sid=loop.sid, vectorized=True, parallelized=parallel,
+            vector_statements=n_vec, sequential_statements=n_seq))
+
+    # -- scalar forwarding ---------------------------------------------------
+
+    def _forward_local_scalars(self, loop: N.DoLoop,
+                               policy: AliasPolicy) -> None:
+        """Substitute iteration-local scalar temporaries into their
+        uses — the practical form of Allen–Kennedy scalar expansion.
+
+        ``t = b[i]*2; a[i] = t + 1`` becomes a single store statement
+        the distributor can vectorize.  Moving the RHS later in the
+        iteration is legal only if no store in between may touch the
+        RHS's loads (checked with the dependence tests at the
+        same-iteration direction) and no RHS scalar is redefined.
+        """
+        body = loop.body
+        changed = True
+        rounds = 0
+        while changed and rounds < len(body) + 1:
+            changed = False
+            rounds += 1
+            for index, stmt in enumerate(list(body)):
+                if stmt not in body:
+                    continue
+                if self._try_forward_one(loop, body, body.index(stmt),
+                                         policy):
+                    changed = True
+                    self.stats.scalars_forwarded += 1
+
+    def _try_forward_one(self, loop: N.DoLoop, body: List[N.Stmt],
+                         index: int, policy: AliasPolicy) -> bool:
+        stmt = body[index]
+        if not isinstance(stmt, N.Assign) \
+                or not isinstance(stmt.target, N.VarRef):
+            return False
+        sym = stmt.target.sym
+        if sym == loop.var or sym.is_volatile or sym.address_taken:
+            return False
+        if sym.storage in ("global", "static", "extern"):
+            return False
+        if utils.expr_has_call(stmt.value) \
+                or utils.expr_has_volatile(stmt.value):
+            return False
+        defs = [s for s in body if utils.stmt_writes_scalar(s) == sym]
+        if len(defs) != 1:
+            return False
+        if self._used_outside_loop(loop, sym):
+            return False
+        use_sites = [j for j in range(len(body))
+                     if j != index and sym in utils.stmt_reads(body[j])]
+        if any(j < index for j in use_sites):
+            return False  # carried use: a genuine recurrence
+        if not use_sites:
+            return False  # dead; DCE's business
+        rhs_vars = set(N.vars_read(stmt.value))
+        loads = [e for e in N.walk_expr(stmt.value)
+                 if isinstance(e, N.Mem)]
+        invariants = _AllInvariants()
+        load_refs = [parse_ref(m, stmt, False, [loop.var], invariants)
+                     for m in loads]
+        last_use = max(use_sites)
+        for j in range(index + 1, last_use + 1):
+            mid = body[j]
+            mid_writes = utils.stmt_writes_scalar(mid)
+            if mid_writes is not None and mid_writes in rhs_vars:
+                return False  # RHS operand changes before the use
+            if isinstance(mid, N.Assign) \
+                    and isinstance(mid.target, N.Mem) and loads:
+                if j == last_use and j in use_sites:
+                    pass  # the use's own store happens after the read
+                store_ref = parse_ref(mid.target, mid, True,
+                                      [loop.var], invariants)
+                if j < last_use or j not in use_sites:
+                    if self._store_may_hit(store_ref, load_refs,
+                                           policy, loop):
+                        return False
+        for j in use_sites:
+            utils.substitute_in_stmt(body[j], sym,
+                                     N.clone_expr(stmt.value))
+            _resimplify_stmt(body[j])
+        body.remove(stmt)
+        return True
+
+    def _store_may_hit(self, store: "AffineRef",
+                       loads: List["AffineRef"], policy: AliasPolicy,
+                       loop: N.DoLoop) -> bool:
+        from ..dependence.tests import EQ, test_pair
+        from ..dependence.graph import _static_trip_count
+        for load in loads:
+            if store.base is None or load.base is None:
+                return True
+            if not policy.may_alias(store, load):
+                continue
+            if not store.same_shape(load):
+                return True
+            result = test_pair(store, load, loop.var, None)
+            if result.possible and EQ in result.directions:
+                return True
+        return False
+
+    def _used_outside_loop(self, loop: N.DoLoop, sym) -> bool:
+        inside = {id(s) for s in N.walk_statements(loop.body)}
+        for stmt in self._fn.all_statements():
+            if id(stmt) in inside or stmt is loop:
+                continue
+            if sym in utils.stmt_reads(stmt) \
+                    or utils.stmt_writes_scalar(stmt) == sym:
+                return True
+        # The loop's own bounds may reference it.
+        return sym in set(N.vars_read(loop.lo)) \
+            | set(N.vars_read(loop.hi))
+
+    # -- eligibility --------------------------------------------------------
+
+    def _reject_reason(self, loop: N.DoLoop) -> Optional[str]:
+        if not (N.is_const(loop.lo, 0) and loop.step == 1):
+            return "not-normalized"
+        for stmt in loop.body:
+            if isinstance(stmt, (N.IfStmt, N.WhileLoop, N.DoLoop)):
+                return "control-flow"
+            if isinstance(stmt, (N.Goto, N.LabelStmt, N.Return)):
+                return "irregular-flow"
+            if isinstance(stmt, N.CallStmt):
+                return "call"
+            if not isinstance(stmt, N.Assign):
+                return "statement-kind"
+            if isinstance(stmt.value, N.CallExpr):
+                return "call"
+            if utils.expr_has_volatile(stmt.value) or (
+                    isinstance(stmt.target, (N.VarRef, N.Mem))
+                    and stmt.target.is_volatile):
+                return "volatile"
+        return None
+
+    def _component_vectorizable(self, comp: List[int],
+                                body: List[N.Stmt],
+                                graph: DependenceGraph) -> bool:
+        if len(comp) != 1:
+            return False
+        index = comp[0]
+        # A carried *anti* self-dependence (a[i] = a[i+1]) is satisfied
+        # by vector semantics — all operands are read before any result
+        # is written.  True/output self-recurrences stay sequential.
+        from ..dependence.graph import ANTI_DEP
+        if any(e.src == index and e.dst == index and e.carried
+               and e.kind != ANTI_DEP for e in graph.edges):
+            return False  # self-recurrence
+        stmt = body[index]
+        if not isinstance(stmt, N.Assign) \
+                or not isinstance(stmt.target, N.Mem):
+            return False  # scalar target would need expansion
+        return self._stmt_sections_ok(stmt, graph)
+
+    def _component_reduction(self, comp: List[int], body: List[N.Stmt],
+                             graph: DependenceGraph,
+                             loop: N.DoLoop) -> bool:
+        """Is this component a single accumulation ``s = s ⊕ E(i)``?
+
+        The only dependences allowed are the statement's own carried
+        scalar self-dependence (the accumulator) — anything else (a
+        memory recurrence, another statement reading s) disqualifies.
+        """
+        if len(comp) != 1:
+            return False
+        index = comp[0]
+        stmt = body[index]
+        if not isinstance(stmt, N.Assign) \
+                or not isinstance(stmt.target, N.VarRef):
+            return False
+        sym = stmt.target.sym
+        if sym == loop.var or sym.is_volatile or sym.address_taken:
+            return False
+        parsed = self._reduction_shape(stmt.value, sym)
+        if parsed is None:
+            return False
+        _, expr = parsed
+        # Beyond the accumulator's own scalar self-dependence there
+        # must be nothing carried into/out of this statement.
+        for edge in graph.edges:
+            if index in (edge.src, edge.dst) and edge.carried:
+                if edge.src == edge.dst == index \
+                        and edge.reason == f"scalar {sym.name}":
+                    continue
+                return False
+        invariants = self._loop_invariants(graph)
+        if not self._expr_sections_ok(expr, loop.var, invariants,
+                                      graph):
+            return False
+        # A loop-invariant summand (`s += B[0]`) has no vector section
+        # to reduce over; leave it to the scalar pipeline.
+        return any(isinstance(e, N.Mem)
+                   and _coeff_of(e.addr, loop.var) != 0
+                   for e in N.walk_expr(expr))
+
+    @staticmethod
+    def _reduction_shape(value: N.Expr,
+                         sym) -> Optional[Tuple[str, N.Expr]]:
+        """Match ``s + E``, ``E + s``, ``min(s,E)``, ``max(s,E)``;
+        E must not read s."""
+        if not isinstance(value, N.BinOp) \
+                or value.op not in ("+", "min", "max"):
+            return None
+        left, right = value.left, value.right
+        if isinstance(left, N.VarRef) and left.sym == sym:
+            expr = right
+        elif isinstance(right, N.VarRef) and right.sym == sym:
+            expr = left
+        else:
+            return None
+        if any(isinstance(e, N.VarRef) and e.sym == sym
+               for e in N.walk_expr(expr)):
+            return None
+        return value.op, expr
+
+    def _stmt_sections_ok(self, stmt: N.Assign,
+                          graph: DependenceGraph) -> bool:
+        loop_var = graph.loop.var
+        invariants = self._loop_invariants(graph)
+        target = parse_ref(stmt.target, stmt, True, [loop_var],
+                           invariants)
+        if not self._section_convertible(target, loop_var,
+                                         need_stride=True):
+            return False
+        return self._expr_sections_ok(stmt.value, loop_var, invariants,
+                                      graph)
+
+    def _expr_sections_ok(self, expr: N.Expr, loop_var: Symbol,
+                          invariants: Set[Symbol],
+                          graph: DependenceGraph) -> bool:
+        if isinstance(expr, N.Mem):
+            ref = parse_ref(expr, None, False, [loop_var], invariants)
+            return self._section_convertible(ref, loop_var,
+                                             need_stride=False)
+        if isinstance(expr, N.VarRef):
+            # A scalar defined in the body would need expansion after
+            # distribution; only loop-invariant scalars broadcast.
+            return expr.sym != loop_var and expr.sym in invariants
+        if isinstance(expr, N.Const):
+            return True
+        if isinstance(expr, N.AddrOf):
+            return True
+        if isinstance(expr, (N.BinOp, N.UnOp, N.Cast)):
+            # The loop variable may appear only inside Mem addresses.
+            for child in expr.children():
+                if not self._expr_sections_ok(child, loop_var,
+                                              invariants, graph):
+                    return False
+            return not any(isinstance(e, N.VarRef) and e.sym == loop_var
+                           for e in _non_mem_nodes(expr))
+        return False
+
+    def _section_convertible(self, ref: AffineRef, loop_var: Symbol,
+                             need_stride: bool) -> bool:
+        if ref.base is None:
+            return False
+        coeff = ref.coeff(loop_var)
+        if coeff == 0:
+            # A loop-invariant load broadcasts fine; a store does not.
+            return not need_stride
+        return coeff % ref.elem_size == 0
+
+    def _loop_invariants(self, graph: DependenceGraph) -> Set[Symbol]:
+        return graph._invariant_symbols(
+            utils.symbols_defined_in(graph.body))
+
+    # -- code generation -----------------------------------------------------
+
+    def _codegen(self, loop: N.DoLoop,
+                 plan: List[Tuple[str, List[int]]],
+                 graph: DependenceGraph) -> List[N.Stmt]:
+        body = loop.body
+        trip_expr = simplify(N.BinOp(op="+", left=N.clone_expr(loop.hi),
+                                     right=N.int_const(1), ctype=INT))
+        trip_const = const_int_value(trip_expr)
+        out: List[N.Stmt] = []
+        strip = self.options.vector_length
+        # Strips may run concurrently only when nothing is carried at
+        # all — even an anti dependence (satisfied within one vector
+        # instruction) races across strip boundaries.
+        all_vector = all(kind == "vector" for kind, _ in plan) \
+            and not graph.has_carried_dependence()
+        direct = trip_const is not None and \
+            trip_const <= min(strip, self.options.max_vector_length)
+        for kind, comp in plan:
+            if kind == "seq":
+                stmts = [body[k] for k in sorted(comp)]
+                seq_var = self.symtab.fresh_temp(INT, "svar")
+                self._fn.local_syms.append(seq_var)
+                renamed = [
+                    _rename_loop_var(s, loop.var, seq_var)
+                    for s in stmts]
+                out.append(N.DoLoop(var=seq_var,
+                                    lo=N.clone_expr(loop.lo),
+                                    hi=N.clone_expr(loop.hi), step=1,
+                                    body=renamed))
+                continue
+            stmt = body[comp[0]]
+            assert isinstance(stmt, N.Assign)
+            if kind == "reduce":
+                if direct:
+                    out.append(self._reduce_stmt(stmt, loop.var,
+                                                 N.int_const(0),
+                                                 trip_expr))
+                else:
+                    out.append(self._reduce_strip_loop(stmt, loop,
+                                                       trip_expr))
+                continue
+            if direct:
+                out.append(self._vector_stmt(stmt, loop.var,
+                                             N.int_const(0), trip_expr))
+            else:
+                out.append(self._strip_loop(stmt, loop, trip_expr,
+                                            all_vector))
+        return out
+
+    def _reduce_stmt(self, stmt: N.Assign, loop_var: Symbol,
+                     start: N.Expr, length: N.Expr) -> N.VectorReduce:
+        op, expr = self._reduction_shape(stmt.value, stmt.target.sym)
+        value = self._value_to_sections(expr, loop_var, start, length)
+        return N.VectorReduce(
+            target=N.VarRef(sym=stmt.target.sym,
+                            ctype=stmt.target.ctype),
+            op=op, value=value, length=N.clone_expr(length))
+
+    def _reduce_strip_loop(self, stmt: N.Assign, loop: N.DoLoop,
+                           trip_expr: N.Expr) -> N.DoLoop:
+        """Strips run *serially* (the accumulator orders them) but each
+        strip reduces at vector speed."""
+        strip = self.options.vector_length
+        vi = self.symtab.fresh_temp(INT, "vi")
+        vlen = self.symtab.fresh_temp(INT, "vlen")
+        self._fn.local_syms.extend([vi, vlen])
+        vlen_value = N.BinOp(
+            op="min", left=N.int_const(strip),
+            right=N.BinOp(op="-", left=N.clone_expr(trip_expr),
+                          right=N.VarRef(sym=vi, ctype=INT), ctype=INT),
+            ctype=INT)
+        body: List[N.Stmt] = [
+            N.Assign(target=N.VarRef(sym=vlen, ctype=INT),
+                     value=vlen_value),
+            self._reduce_stmt(stmt, loop.var,
+                              N.VarRef(sym=vi, ctype=INT),
+                              N.VarRef(sym=vlen, ctype=INT)),
+        ]
+        return N.DoLoop(
+            var=vi, lo=N.int_const(0),
+            hi=simplify(N.BinOp(op="-", left=N.clone_expr(trip_expr),
+                                right=N.int_const(1), ctype=INT)),
+            step=strip, body=body, parallel=False, vector=True)
+
+    def _vector_stmt(self, stmt: N.Assign, loop_var: Symbol,
+                     start: N.Expr, length: N.Expr) -> N.VectorAssign:
+        target = self._to_section(stmt.target, loop_var, start, length)
+        value = self._value_to_sections(stmt.value, loop_var, start,
+                                        length)
+        return N.VectorAssign(target=target, value=value)
+
+    def _to_section(self, mem: N.Mem, loop_var: Symbol, start: N.Expr,
+                    length: N.Expr) -> N.Section:
+        coeff = _coeff_of(mem.addr, loop_var)
+        addr0 = simplify(utils.substitute_var(mem.addr, loop_var,
+                                              N.clone_expr(start)))
+        stride = coeff // mem.ctype.sizeof()
+        return N.Section(addr=addr0, length=N.clone_expr(length),
+                         stride=stride, ctype=mem.ctype)
+
+    def _value_to_sections(self, expr: N.Expr, loop_var: Symbol,
+                           start: N.Expr, length: N.Expr) -> N.Expr:
+        if isinstance(expr, N.Mem):
+            coeff = _coeff_of(expr.addr, loop_var)
+            if coeff == 0:
+                return expr  # broadcast scalar load
+            return self._to_section(expr, loop_var, start, length)
+        if isinstance(expr, (N.BinOp, N.UnOp, N.Cast)):
+            children = [self._value_to_sections(c, loop_var, start,
+                                                length)
+                        for c in expr.children()]
+            return expr.replace_children(children)
+        return expr
+
+    def _strip_loop(self, stmt: N.Assign, loop: N.DoLoop,
+                    trip_expr: N.Expr, all_vector: bool) -> N.DoLoop:
+        strip = self.options.vector_length
+        vi = self.symtab.fresh_temp(INT, "vi")
+        vlen = self.symtab.fresh_temp(INT, "vlen")
+        self._fn.local_syms.extend([vi, vlen])
+        vlen_value = N.BinOp(
+            op="min", left=N.int_const(strip),
+            right=N.BinOp(op="-", left=N.clone_expr(trip_expr),
+                          right=N.VarRef(sym=vi, ctype=INT), ctype=INT),
+            ctype=INT)
+        body: List[N.Stmt] = [
+            N.Assign(target=N.VarRef(sym=vlen, ctype=INT),
+                     value=vlen_value),
+            self._vector_stmt(stmt, loop.var,
+                              N.VarRef(sym=vi, ctype=INT),
+                              N.VarRef(sym=vlen, ctype=INT)),
+        ]
+        return N.DoLoop(
+            var=vi, lo=N.int_const(0),
+            hi=simplify(N.BinOp(op="-", left=N.clone_expr(trip_expr),
+                                right=N.int_const(1), ctype=INT)),
+            step=strip, body=body,
+            parallel=self.options.parallelize and all_vector,
+            vector=True)
+
+    # -- parallel-only fallback ------------------------------------------------
+
+    def _try_parallel_only(self, loop: N.DoLoop, policy: AliasPolicy,
+                           graph: Optional[DependenceGraph] = None
+                           ) -> bool:
+        """Spread a non-vectorizable loop across processors when its
+        iterations are provably independent (after privatizing
+        iteration-local scalars)."""
+        if utils.has_irregular_flow(loop.body):
+            return False
+        for stmt in N.walk_statements(loop.body):
+            if isinstance(stmt, (N.CallStmt, N.WhileLoop)):
+                return False
+            if isinstance(stmt, N.Assign):
+                if isinstance(stmt.value, N.CallExpr):
+                    return False
+                if utils.expr_has_volatile(stmt.value):
+                    return False
+        if graph is None:
+            if not (N.is_const(loop.lo, 0) and loop.step == 1):
+                return False
+            graph = DependenceGraph(loop, policy)
+        carried = graph.carried_edges()
+        privatizable = self._privatizable_scalars(loop)
+        for edge in carried:
+            if edge.reason.startswith("scalar "):
+                name = edge.reason[len("scalar "):]
+                if any(s.name == name for s in privatizable):
+                    continue
+            return False
+        loop.parallel = True
+        self.stats.loops_parallelized += 1
+        self.stats.outcomes.append(LoopOutcome(
+            loop_sid=loop.sid, vectorized=False, parallelized=True,
+            reason="parallel-only"))
+        return True
+
+    def _privatizable_scalars(self, loop: N.DoLoop) -> Set[Symbol]:
+        """Scalars defined before any use in each iteration and never
+        referenced outside the loop."""
+        defined = utils.symbols_defined_in(loop.body)
+        outside: Set[Symbol] = set()
+        for stmt in self._fn.all_statements():
+            inside = stmt in N.walk_statements(loop.body)
+            if inside:
+                continue
+            outside.update(utils.stmt_reads(stmt))
+            target = utils.stmt_writes_scalar(stmt)
+            if target is not None:
+                outside.add(target)
+        out: Set[Symbol] = set()
+        for sym in defined:
+            if sym in outside or sym.address_taken or sym.is_volatile:
+                continue
+            if sym.storage in ("global", "static", "extern"):
+                continue
+            if self._defined_before_use(loop.body, sym):
+                out.add(sym)
+        return out
+
+    @staticmethod
+    def _defined_before_use(body: List[N.Stmt], sym: Symbol) -> bool:
+        """Is every iteration's first touch of ``sym`` an unconditional
+        top-level definition?"""
+        for stmt in body:
+            if utils.stmt_writes_scalar(stmt) == sym:
+                return sym not in utils.stmt_reads(stmt)
+            if sym in utils.stmt_reads(stmt):
+                return False
+            if sym in utils.symbols_defined_in([stmt]) or any(
+                    sym in utils.stmt_reads(s)
+                    for s in N.walk_statements([stmt])):
+                return False  # first touch is conditional
+        return True
+
+
+def _coeff_of(addr: N.Expr, loop_var: Symbol) -> int:
+    from ..dependence.refs import _ParseState, _NotAffine
+    state = _ParseState({loop_var}, _AllInvariants())
+    try:
+        state.walk(addr, 1)
+    except _NotAffine:
+        return 0
+    return state.coeffs.get(loop_var, 0)
+
+
+class _AllInvariants:
+    """Set stand-in that treats every symbol as loop-invariant (used
+    only after eligibility was already verified)."""
+
+    def __contains__(self, item) -> bool:
+        return True
+
+
+def _rename_loop_var(stmt: N.Stmt, old: Symbol, new: Symbol) -> N.Stmt:
+    from ..frontend.lower import clone_stmt
+    cloned = clone_stmt(stmt)
+    utils.substitute_in_stmt(cloned, old,
+                             N.VarRef(sym=new, ctype=new.ctype))
+    for sublist in cloned.substatements():
+        for sub in sublist:
+            utils.substitute_in_stmt(sub, old,
+                                     N.VarRef(sym=new, ctype=new.ctype))
+    return cloned
+
+
+def vectorize_function(fn: N.ILFunction, symtab: SymbolTable,
+                       options: Optional[VectorizeOptions] = None
+                       ) -> VectorizeStats:
+    return Vectorizer(symtab, options).run(fn)
+
+
+def _resimplify_stmt(stmt: N.Stmt) -> None:
+    if isinstance(stmt, N.Assign):
+        stmt.value = simplify(stmt.value)
+        if isinstance(stmt.target, N.Mem):
+            stmt.target = N.Mem(addr=simplify(stmt.target.addr),
+                                ctype=stmt.target.ctype)
+
+
+def _non_mem_nodes(expr: N.Expr):
+    """Expression nodes not inside a Mem address."""
+    if isinstance(expr, N.Mem):
+        return
+    yield expr
+    for child in expr.children():
+        yield from _non_mem_nodes(child)

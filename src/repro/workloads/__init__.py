@@ -1,0 +1,7 @@
+"""Synthetic workload suites standing in for the paper's proprietary
+benchmarks (UNIX, Dore, "several benchmarks" — see DESIGN.md's
+substitution table)."""
+
+from . import blas, graphics, idioms, stencils
+
+__all__ = ["blas", "graphics", "idioms", "stencils"]

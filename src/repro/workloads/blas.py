@@ -1,0 +1,111 @@
+"""BLAS-like C kernels (the paper's math-library motivation, section 2).
+
+The Titan "is intended to be a computation-intensive engine ... programs
+running on the machine need frequent access to math libraries", so the
+compiler's headline use case is inlining calls to routines like DAXPY
+and vectorizing the result.  These sources are used by the E2/E6
+benchmarks and by the inline-database tests.
+"""
+
+from __future__ import annotations
+
+# The paper's §9 daxpy, verbatim in structure.
+DAXPY_C = """
+void daxpy(float *x, float *y, float *z, float alpha, int n)
+{
+    if (n <= 0)
+        return;
+    if (alpha == 0)
+        return;
+    for (; n; n--)
+        *x++ = *y++ + alpha * *z++;
+}
+"""
+
+SCOPY_C = """
+void scopy(float *dst, float *src, int n)
+{
+    while (n) {
+        *dst++ = *src++;
+        n--;
+    }
+}
+"""
+
+SSCAL_C = """
+void sscal(float *x, float alpha, int n)
+{
+    int i;
+    for (i = 0; i < n; i++)
+        x[i] = alpha * x[i];
+}
+"""
+
+SDOT_C = """
+float sdot(float *x, float *y, int n)
+{
+    float sum;
+    int i;
+    sum = 0.0;
+    for (i = 0; i < n; i++)
+        sum = sum + x[i] * y[i];
+    return sum;
+}
+"""
+
+SAXPY_INDEXED_C = """
+void saxpy_i(float *y, float *x, float a, int n)
+{
+    int i;
+    for (i = 0; i < n; i++)
+        y[i] = y[i] + a * x[i];
+}
+"""
+
+VADD_C = """
+void vadd(float *out, float *p, float *q, int n)
+{
+    int i;
+    for (i = 0; i < n; i++)
+        out[i] = p[i] + q[i];
+}
+"""
+
+MATH_LIBRARY_C = (DAXPY_C + SCOPY_C + SSCAL_C + SDOT_C
+                  + SAXPY_INDEXED_C + VADD_C)
+"""One translation unit holding the whole 'math library' — compiled
+into an InlineDatabase by the database tests and the E6 benchmark."""
+
+
+def caller_program(n: int = 1024, alpha: float = 2.5,
+                   routines: str = MATH_LIBRARY_C) -> str:
+    """A program whose ``bench`` entry exercises the library the way the
+    paper's §9 example does (named global arrays, constant n)."""
+    return f"""
+float a[{n}], b[{n}], c[{n}];
+{routines}
+void bench(void)
+{{
+    daxpy(a, b, c, {alpha}, {n});
+}}
+void bench_copy(void)
+{{
+    scopy(a, b, {n});
+}}
+void bench_scale(void)
+{{
+    sscal(a, {alpha}, {n});
+}}
+"""
+
+
+def library_client(n: int = 1024, alpha: float = 2.5) -> str:
+    """A client that only *calls* the library (for database inlining)."""
+    return f"""
+float a[{n}], b[{n}], c[{n}];
+void daxpy(float *x, float *y, float *z, float alpha, int n);
+void bench(void)
+{{
+    daxpy(a, b, c, {alpha}, {n});
+}}
+"""

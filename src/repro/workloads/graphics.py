@@ -1,0 +1,85 @@
+"""Graphics kernels in the style of Doré (sections 2, 5.2, 10).
+
+"Graphics code typically transforms 4x4 matrices"; "the one deficiency
+which we uncovered in vectorizing Doré was arrays embedded within
+structures".  These kernels exercise both: short constant-trip loops
+(no strip loop needed) and struct-embedded arrays.
+"""
+
+from __future__ import annotations
+
+# 4x4 matrix-vector transform over a point list: the outer loop is the
+# long one; inner 4x4 loops have known tiny trip counts (section 5.2:
+# "knowing that the vector length in such loops is small enough that a
+# strip loop is not required is very important").
+TRANSFORM_POINTS_C = """
+float mat[16];
+float px[N_PTS], py[N_PTS], pz[N_PTS], pw[N_PTS];
+float ox[N_PTS], oy[N_PTS], oz[N_PTS], ow[N_PTS];
+
+void transform(int n)
+{
+    int i;
+    for (i = 0; i < n; i++) {
+        ox[i] = mat[0]*px[i] + mat[1]*py[i] + mat[2]*pz[i] + mat[3]*pw[i];
+        oy[i] = mat[4]*px[i] + mat[5]*py[i] + mat[6]*pz[i] + mat[7]*pw[i];
+        oz[i] = mat[8]*px[i] + mat[9]*py[i] + mat[10]*pz[i] + mat[11]*pw[i];
+        ow[i] = mat[12]*px[i] + mat[13]*py[i] + mat[14]*pz[i] + mat[15]*pw[i];
+    }
+}
+"""
+
+# A 4x4 multiply: every loop has trip count 4, below the strip length.
+MAT4_MULTIPLY_C = """
+float ma[16], mb[16], mc[16];
+
+void mat4mul(void)
+{
+    int i, j, k;
+    for (i = 0; i < 4; i++) {
+        for (j = 0; j < 4; j++) {
+            mc[4*i + j] = 0.0;
+            for (k = 0; k < 4; k++)
+                mc[4*i + j] = mc[4*i + j] + ma[4*i + k] * mb[4*k + j];
+        }
+    }
+}
+"""
+
+# Arrays embedded within structures (section 10's Doré deficiency).
+STRUCT_ARRAY_C = """
+struct vertex {
+    float pos[4];
+    float color[4];
+    int flags;
+};
+
+struct vertex verts[N_VERTS];
+float brightness;
+
+void shade(int n)
+{
+    int i;
+    for (i = 0; i < n; i++) {
+        verts[i].color[0] = verts[i].pos[0] * brightness;
+        verts[i].color[1] = verts[i].pos[1] * brightness;
+        verts[i].color[2] = verts[i].pos[2] * brightness;
+        verts[i].flags = 1;
+    }
+}
+"""
+
+
+def transform_points(n: int = 256) -> str:
+    return TRANSFORM_POINTS_C.replace("N_PTS", str(n))
+
+
+def struct_array(n: int = 256) -> str:
+    return STRUCT_ARRAY_C.replace("N_VERTS", str(n))
+
+
+def identity_matrix() -> list:
+    out = [0.0] * 16
+    for i in range(4):
+        out[4 * i + i] = 1.0
+    return out

@@ -1,0 +1,186 @@
+"""A suite of C loop idioms for the while→DO conversion experiment (E4).
+
+Each entry is one function containing one loop written in a different
+idiomatic C style (section 5.2 lists the ways a `for` can stray from a
+DO loop).  ``convertible`` records whether the paper's analysis should
+recover a counted DO loop; the benchmark reports the achieved coverage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+
+@dataclass(frozen=True)
+class LoopIdiom:
+    name: str
+    source: str
+    convertible: bool
+    note: str = ""
+
+
+IDIOMS: List[LoopIdiom] = [
+    LoopIdiom(
+        "count_up", """
+float a[256], b[256];
+void f(int n) {
+    int i;
+    for (i = 0; i < n; i++)
+        a[i] = b[i];
+}
+""", True, "canonical for loop"),
+    LoopIdiom(
+        "count_up_le", """
+float a[256], b[256];
+void f(int n) {
+    int i;
+    for (i = 0; i <= n; i++)
+        a[i] = b[i];
+}
+""", True, "inclusive bound"),
+    LoopIdiom(
+        "count_down", """
+float a[256], b[256];
+void f(int n) {
+    int i;
+    for (i = n - 1; i >= 0; i--)
+        a[i] = b[i];
+}
+""", True, "descending"),
+    LoopIdiom(
+        "strided", """
+float a[256], b[256];
+void f(int n) {
+    int i;
+    for (i = 0; i < n; i += 4)
+        a[i] = b[i];
+}
+""", True, "non-unit stride"),
+    LoopIdiom(
+        "pointer_walk", """
+void f(float *dst, float *src, int n) {
+    while (n) {
+        *dst++ = *src++;
+        n--;
+    }
+}
+""", True, "the paper's *a++ = *b++ idiom"),
+    LoopIdiom(
+        "for_no_header", """
+void f(float *dst, float *src, int n) {
+    for (; n; n--)
+        *dst++ = *src++;
+}
+""", True, "daxpy-style for without init"),
+    LoopIdiom(
+        "compound_update", """
+float a[256];
+void f(int n) {
+    int i;
+    i = 0;
+    while (i < n) {
+        a[i] = 0.0;
+        i += 2;
+    }
+}
+""", True, "while with compound step"),
+    LoopIdiom(
+        "volatile_spin", """
+volatile int status;
+void f(void) {
+    while (!status)
+        ;
+}
+""", False, "the keyboard_status loop must never convert"),
+    LoopIdiom(
+        "bound_varies", """
+float a[256];
+void f(int n) {
+    int i;
+    for (i = 0; i < n; i++) {
+        a[i] = 0.0;
+        if (a[i] < 1.0)
+            n = n - 1;
+    }
+}
+""", False, "bound changes inside the loop"),
+    LoopIdiom(
+        "conditional_step", """
+float a[256];
+void f(int n) {
+    int i;
+    i = 0;
+    while (i < n) {
+        a[i] = 0.0;
+        if (n > 128)
+            i = i + 2;
+        else
+            i = i + 1;
+    }
+}
+""", False, "update is conditional"),
+    LoopIdiom(
+        "early_break", """
+float a[256];
+void f(int n) {
+    int i;
+    for (i = 0; i < n; i++) {
+        if (a[i] < 0.0)
+            break;
+        a[i] = 0.0;
+    }
+}
+""", False, "branch leaves the loop"),
+    LoopIdiom(
+        "goto_in", """
+float a[256];
+void f(int n) {
+    int i;
+    i = 0;
+    goto middle;
+    while (i < n) {
+middle:
+        a[i] = 0.0;
+        i = i + 1;
+    }
+}
+""", False, "branch enters the loop"),
+    LoopIdiom(
+        "linked_list", """
+struct node { float v; struct node *next; };
+float total;
+void f(struct node *p) {
+    while (p) {
+        total = total + p->v;
+        p = p->next;
+    }
+}
+""", False, "a true while loop (future work in section 10)"),
+    LoopIdiom(
+        "two_counters", """
+float a[256], b[256];
+void f(int n) {
+    int i, j;
+    j = 0;
+    for (i = 0; i < n; i++) {
+        a[j] = b[j];
+        j = j + 1;
+    }
+}
+""", True, "auxiliary induction variable alongside the loop index"),
+    LoopIdiom(
+        "modified_in_call", """
+int work(int k);
+float a[256];
+void f(int n) {
+    int i;
+    for (i = 0; i < n; i = work(i))
+        a[i] = 0.0;
+}
+""", False, "step through a function call"),
+]
+
+
+def convertible_count() -> int:
+    return sum(1 for idiom in IDIOMS if idiom.convertible)

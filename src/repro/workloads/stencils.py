@@ -1,0 +1,78 @@
+"""Recurrence and stencil kernels (section 6's 'non-vector' programs).
+
+The backsolve loop is quoted verbatim from the paper; the others fill
+out the space of loop-carried patterns the dependence-driven scalar
+optimizations must handle.
+"""
+
+from __future__ import annotations
+
+# Section 6, verbatim shape: "a typical loop used in backsolving linear
+# systems" — carried true dependence at distance 1.
+BACKSOLVE_C = """
+float x[{n}], y[{n}], z[{n}];
+int n;
+
+void backsolve(void)
+{{
+    float *p, *q;
+    int i;
+    p = &x[1];
+    q = &x[0];
+    for (i = 0; i < n-2; i++)
+        p[i] = z[i] * (y[i] - q[i]);
+}}
+"""
+
+# First-order recurrence (prefix products): never vectorizable.
+PREFIX_C = """
+float acc[{n}], w[{n}];
+
+void prefix(int n)
+{{
+    int i;
+    for (i = 1; i < n; i++)
+        acc[i] = acc[i-1] * w[i];
+}}
+"""
+
+# Three-point smoother reading only the *old* array: fully vector.
+SMOOTH_C = """
+float src[{n}], dst[{n}];
+
+void smooth(int n)
+{{
+    int i;
+    for (i = 1; i < n-1; i++)
+        dst[i] = 0.25f*src[i-1] + 0.5f*src[i] + 0.25f*src[i+1];
+}}
+"""
+
+# In-place smoother: anti-dependence only (read of i+1 before it is
+# written) — still vectorizable because vector reads complete first.
+SMOOTH_INPLACE_C = """
+float buf[{n}];
+
+void smooth_inplace(int n)
+{{
+    int i;
+    for (i = 0; i < n-1; i++)
+        buf[i] = 0.5f*buf[i] + 0.5f*buf[i+1];
+}}
+"""
+
+
+def backsolve(n: int = 512) -> str:
+    return BACKSOLVE_C.format(n=n)
+
+
+def prefix(n: int = 512) -> str:
+    return PREFIX_C.format(n=n)
+
+
+def smooth(n: int = 512) -> str:
+    return SMOOTH_C.format(n=n)
+
+
+def smooth_inplace(n: int = 512) -> str:
+    return SMOOTH_INPLACE_C.format(n=n)

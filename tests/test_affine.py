@@ -1,0 +1,212 @@
+"""Unit tests for affine tracing (temp chains) and the symbol table."""
+
+import pytest
+
+from repro.frontend.ctypes_ import FLOAT, INT, PointerType
+from repro.frontend.lower import compile_to_il
+from repro.frontend.symtab import (AUTO, Symbol, SymbolError,
+                                   SymbolTable, TEMP)
+from repro.il import nodes as N
+from repro.opt.affine import reads_through_chain, trace_step
+
+
+def body_of(src, name="f"):
+    program = compile_to_il(src)
+    fn = program.functions[name]
+    loops = [s for s in fn.all_statements()
+             if isinstance(s, N.WhileLoop)]
+    return loops[0].body if loops else fn.body
+
+
+def find_update(body, var_name):
+    for stmt in body:
+        if isinstance(stmt, N.Assign) \
+                and isinstance(stmt.target, N.VarRef) \
+                and stmt.target.sym.name == var_name:
+            return stmt
+    raise AssertionError(f"no update of {var_name}")
+
+
+class TestTraceStep:
+    def test_direct_increment(self):
+        body = body_of("void f(int n) { while (n) { n = n - 1; } }")
+        stmt = find_update(body, "n")
+        step = trace_step(stmt.value, body, body.index(stmt),
+                          stmt.target.sym)
+        assert step == -1
+
+    def test_through_temp_chain(self):
+        # n-- lowers to `temp = n; n = temp - 1`
+        body = body_of("void f(int n) { while (n) n--; }")
+        stmt = find_update(body, "n")
+        step = trace_step(stmt.value, body, body.index(stmt),
+                          stmt.target.sym)
+        assert step == -1
+
+    def test_pointer_scaled_step(self):
+        body = body_of(
+            "void f(float *p, int n) { while (n) { p++; n--; } }")
+        stmt = find_update(body, "p")
+        step = trace_step(stmt.value, body, body.index(stmt),
+                          stmt.target.sym)
+        assert step == 4
+
+    def test_compound_step(self):
+        body = body_of("void f(int i, int n)"
+                       "{ while (i < n) { i += 3; } }")
+        stmt = find_update(body, "i")
+        step = trace_step(stmt.value, body, body.index(stmt),
+                          stmt.target.sym)
+        assert step == 3
+
+    def test_non_affine_returns_none(self):
+        body = body_of("void f(int n) { while (n) { n = n * 2; } }")
+        stmt = find_update(body, "n")
+        assert trace_step(stmt.value, body, body.index(stmt),
+                          stmt.target.sym) is None
+
+    def test_unrelated_variable_returns_none(self):
+        body = body_of("void f(int n, int m)"
+                       "{ while (n) { n = m - 1; } }")
+        stmt = find_update(body, "n")
+        assert trace_step(stmt.value, body, body.index(stmt),
+                          stmt.target.sym) is None
+
+    def test_reads_through_chain(self):
+        body = body_of("void f(int n) { while (n) n--; }")
+        stmt = find_update(body, "n")
+        assert reads_through_chain(stmt.value, body, body.index(stmt),
+                                   stmt.target.sym)
+
+    def test_reads_through_chain_negative(self):
+        body = body_of("void f(int n, int k)"
+                       "{ while (n) { n = n - 1; } }")
+        stmt = find_update(body, "n")
+        other = [s for s in body if isinstance(s, N.Assign)][0]
+        k_like = Symbol(name="zz", ctype=INT, uid=99999)
+        assert not reads_through_chain(stmt.value, body,
+                                       body.index(stmt), k_like)
+
+
+class TestSymbolTable:
+    def test_declare_and_lookup(self):
+        table = SymbolTable()
+        sym = table.declare("x", INT)
+        assert table.lookup("x") is sym
+
+    def test_scopes_shadow(self):
+        table = SymbolTable()
+        outer = table.declare("x", INT)
+        table.push_scope()
+        inner = table.declare("x", FLOAT)
+        assert table.lookup("x") is inner
+        table.pop_scope()
+        assert table.lookup("x") is outer
+
+    def test_pop_global_scope_raises(self):
+        table = SymbolTable()
+        with pytest.raises(SymbolError):
+            table.pop_scope()
+
+    def test_incompatible_redeclaration_raises(self):
+        table = SymbolTable()
+        table.declare("x", INT)
+        with pytest.raises(SymbolError):
+            table.declare("x", FLOAT)
+
+    def test_compatible_redeclaration_returns_existing(self):
+        table = SymbolTable()
+        a = table.declare("x", INT)
+        b = table.declare("x", INT)
+        assert a is b
+
+    def test_fresh_temps_unique(self):
+        table = SymbolTable()
+        a = table.fresh_temp(INT)
+        b = table.fresh_temp(INT)
+        assert a.uid != b.uid and a.name != b.name
+        assert a.storage == TEMP
+
+    def test_clone_symbol_in_prefix(self):
+        table = SymbolTable()
+        sym = table.declare("x", PointerType(base=FLOAT))
+        clone = table.clone_symbol(sym)
+        assert clone.name == "in_x"
+        assert clone.uid != sym.uid
+        assert clone.is_inline_copy
+
+    def test_uids_monotonic(self):
+        table = SymbolTable()
+        uids = [table.new_uid() for _ in range(5)]
+        assert uids == sorted(uids) and len(set(uids)) == 5
+
+    def test_undeclared_lookup_raises(self):
+        table = SymbolTable()
+        with pytest.raises(SymbolError):
+            table.lookup("ghost")
+
+    def test_typedef_tracking(self):
+        table = SymbolTable()
+        table.declare_typedef("real", FLOAT)
+        assert table.is_typedef_name("real")
+        assert not table.is_typedef_name("int32")
+
+    def test_symbol_equality_by_uid(self):
+        a = Symbol(name="x", ctype=INT, uid=7)
+        b = Symbol(name="y", ctype=FLOAT, uid=7)
+        c = Symbol(name="x", ctype=INT, uid=8)
+        assert a == b  # same uid: same object identity semantics
+        assert a != c
+        assert len({a, b, c}) == 2
+
+
+class TestNegativeStrideVectorization:
+    def test_reversed_copy_vectorizes(self):
+        from repro.pipeline import compile_c
+        src = """
+        float dst[128], src_[128];
+        void f(void) {
+            int i;
+            for (i = 0; i < 128; i++)
+                dst[i] = src_[127 - i];
+        }
+        """
+        result = compile_c(src)
+        assert result.vectorize_stats["f"].loops_vectorized == 1
+        fn = result.program.functions["f"]
+        sections = [e for s in fn.all_statements()
+                    if isinstance(s, N.VectorAssign)
+                    for e in N.walk_expr(s.value)
+                    if isinstance(e, N.Section)]
+        assert any(sec.stride == -1 for sec in sections)
+
+    def test_reversed_copy_semantics(self):
+        from tests.helpers import assert_same_behaviour
+        src = """
+        float dst[128], src_[128];
+        int main(void) {
+            int i;
+            for (i = 0; i < 128; i++)
+                dst[i] = src_[127 - i];
+            return 0;
+        }
+        """
+        assert_same_behaviour(
+            src, arrays={"src_": [float(k) for k in range(128)]},
+            check_arrays=[("dst", 128)])
+
+    def test_in_place_reversal_not_parallel(self):
+        # dst == src reversed in place: carried anti/flow both ways.
+        from tests.helpers import assert_same_behaviour
+        src = """
+        float buf[64];
+        int main(void) {
+            int i;
+            for (i = 0; i < 64; i++)
+                buf[i] = buf[63 - i];
+            return 0;
+        }
+        """
+        assert_same_behaviour(
+            src, arrays={"buf": [float(k) for k in range(64)]},
+            check_arrays=[("buf", 64)])

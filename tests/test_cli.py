@@ -1,0 +1,90 @@
+"""Tests for the titancc command-line driver."""
+
+import os
+
+import pytest
+
+from repro.cli import main
+from repro.workloads import blas
+
+
+@pytest.fixture
+def daxpy_file(tmp_path):
+    path = tmp_path / "prog.c"
+    path.write_text(blas.caller_program(n=64) + """
+int main(void)
+{
+    int i;
+    for (i = 0; i < 64; i++) { b[i] = i; c[i] = 1.0f; }
+    bench();
+    printf("a[3]=%g\\n", a[3]);
+    return 0;
+}
+""")
+    return str(path)
+
+
+class TestCLI:
+    def test_plain_compile_prints_il(self, daxpy_file, capsys):
+        assert main([daxpy_file]) == 0
+        out = capsys.readouterr().out
+        assert "do parallel" in out
+
+    def test_dump_stages(self, daxpy_file, capsys):
+        assert main([daxpy_file, "--dump-stages"]) == 0
+        out = capsys.readouterr().out
+        assert "stage: front-end" in out
+        assert "stage: vectorize" in out
+
+    def test_run_simulates(self, daxpy_file, capsys):
+        assert main([daxpy_file, "--run", "main"]) == 0
+        out = capsys.readouterr().out
+        assert "a[3]=5.5" in out  # 3 + 2.5*1
+        assert "MFLOPS" in out
+
+    def test_no_vectorize_flag(self, daxpy_file, capsys):
+        assert main([daxpy_file, "--no-vectorize"]) == 0
+        out = capsys.readouterr().out
+        assert "do parallel" not in out or "vector" not in out
+
+    def test_processors_flag(self, daxpy_file, capsys):
+        assert main([daxpy_file, "--processors", "4", "--run",
+                     "main"]) == 0
+        assert "cycles" in capsys.readouterr().out
+
+    def test_stats_flag(self, daxpy_file, capsys):
+        assert main([daxpy_file, "--stats"]) == 0
+        err = capsys.readouterr().err
+        assert "inline:" in err
+
+    def test_make_and_use_db(self, tmp_path, capsys):
+        lib = tmp_path / "lib.c"
+        lib.write_text(blas.MATH_LIBRARY_C)
+        db_path = str(tmp_path / "lib.ildb")
+        assert main([str(lib), "--make-db", db_path]) == 0
+        assert os.path.exists(db_path)
+        out = capsys.readouterr().out
+        assert "daxpy" in out
+
+        client = tmp_path / "client.c"
+        client.write_text(blas.library_client(n=32))
+        assert main([str(client), "--use-db", db_path]) == 0
+        out = capsys.readouterr().out
+        assert "/* vector */" in out  # inlined + vectorized
+
+    def test_fortran_pointers_flag(self, tmp_path, capsys):
+        src = tmp_path / "ptr.c"
+        src.write_text("""
+void f(float *p, float *q, int n)
+{
+    int i;
+    for (i = 0; i < n; i++)
+        p[i] = q[i];
+}
+""")
+        assert main([str(src), "--no-inline"]) == 0
+        plain = capsys.readouterr().out
+        assert "vector" not in plain
+        assert main([str(src), "--no-inline", "--fortran-pointers"]) == 0
+        fortran = capsys.readouterr().out
+        assert "vector" in fortran

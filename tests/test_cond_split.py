@@ -1,0 +1,175 @@
+"""Tests for termination splitting of search loops (§5.2, [AllK 85])."""
+
+import pytest
+
+from repro.il import nodes as N
+from repro.pipeline import CompilerOptions, compile_c
+
+from tests.helpers import assert_same_behaviour
+
+SEARCH_COPY = """
+float dst[256], src_[256];
+void f(void) {
+    int i;
+    i = 0;
+    while (src_[i] != 0.0f) {
+        dst[i] = src_[i] * 2.0f;
+        i = i + 1;
+    }
+}
+int main(void) { f(); return 0; }
+"""
+
+
+def terminated_data(stop_at=100):
+    return [float(k % 29 + 1) for k in range(stop_at)] + [0.0] \
+        + [5.0] * (256 - stop_at - 1)
+
+
+class TestSplitting:
+    def test_search_copy_splits_and_vectorizes(self):
+        result = compile_c(SEARCH_COPY)
+        assert result.cond_split_stats["f"].split == 1
+        assert result.vectorize_stats["f"].loops_vectorized == 1
+        fn = result.program.functions["f"]
+        # serial chase survives as a while loop
+        assert any(isinstance(s, N.WhileLoop)
+                   for s in fn.all_statements())
+        assert any(isinstance(s, N.VectorAssign)
+                   for s in fn.all_statements())
+
+    def test_semantics_preserved(self):
+        assert_same_behaviour(
+            SEARCH_COPY,
+            arrays={"src_": terminated_data(), "dst": [0.0] * 256},
+            check_arrays=[("dst", 256)],
+            parallel_orders=("forward", "reverse", "shuffle"))
+
+    def test_zero_length_search(self):
+        assert_same_behaviour(
+            SEARCH_COPY,
+            arrays={"src_": [0.0] * 256, "dst": [9.0] * 256},
+            check_arrays=[("dst", 256)])
+
+    def test_option_disables(self):
+        result = compile_c(SEARCH_COPY,
+                           CompilerOptions(split_termination=False))
+        assert "f" not in result.cond_split_stats \
+            or result.cond_split_stats["f"].split == 0
+        fn = result.program.functions["f"]
+        assert not any(isinstance(s, N.VectorAssign)
+                       for s in fn.all_statements())
+
+    def test_final_iv_value_correct(self):
+        src = """
+        float src_[64];
+        int length;
+        int main(void) {
+            int i;
+            i = 0;
+            while (src_[i] != 0.0f) {
+                src_[0] = src_[0];
+                i = i + 1;
+            }
+            length = i;
+            return length;
+        }
+        """
+        # src_[0] store may alias src_[i] load -> must NOT split;
+        # behaviour must be right either way.
+        assert_same_behaviour(
+            src, arrays={"src_": [1.0] * 10 + [0.0] * 54},
+            check_scalars=["length"])
+
+
+class TestRejections:
+    def test_store_into_searched_array_rejected(self):
+        # Writing dst == src_ would change the termination point.
+        src = """
+        float buf[128];
+        void f(void) {
+            int i;
+            i = 0;
+            while (buf[i] != 0.0f) {
+                buf[i] = 0.0f;       /* kills the condition! */
+                i = i + 1;
+            }
+        }
+        int main(void) { f(); return 0; }
+        """
+        result = compile_c(src)
+        stats = result.cond_split_stats.get("f")
+        assert stats is None or stats.split == 0
+        assert_same_behaviour(
+            src, arrays={"buf": [1.0] * 20 + [0.0] * 108},
+            check_arrays=[("buf", 128)])
+
+    def test_pointer_stores_rejected_by_default(self):
+        src = """
+        float src_[64];
+        void f(float *out) {
+            int i;
+            i = 0;
+            while (src_[i] != 0.0f) {
+                out[i] = src_[i];
+                i = i + 1;
+            }
+        }
+        """
+        result = compile_c(src)
+        stats = result.cond_split_stats.get("f")
+        assert stats is None or stats.split == 0
+
+    def test_volatile_condition_rejected(self):
+        src = """
+        volatile float port;
+        float dst[64];
+        void f(void) {
+            int i;
+            i = 0;
+            while (port != 0.0f) {
+                dst[i] = 1.0f;
+                i = i + 1;
+            }
+        }
+        """
+        result = compile_c(src)
+        stats = result.cond_split_stats.get("f")
+        assert stats is None or stats.split == 0
+
+    def test_conditional_body_rejected(self):
+        src = """
+        float dst[64], src_[64];
+        void f(void) {
+            int i;
+            i = 0;
+            while (src_[i] != 0.0f) {
+                if (src_[i] > 1.0f)
+                    dst[i] = src_[i];
+                i = i + 1;
+            }
+        }
+        """
+        result = compile_c(src)
+        stats = result.cond_split_stats.get("f")
+        assert stats is None or stats.split == 0
+
+    def test_iv_final_value_after_split(self):
+        src = """
+        float dst[128], src_[128];
+        int final;
+        int main(void) {
+            int i;
+            i = 0;
+            while (src_[i] != 0.0f) {
+                dst[i] = src_[i];
+                i = i + 1;
+            }
+            final = i;
+            return final;
+        }
+        """
+        assert_same_behaviour(
+            src, arrays={"src_": [2.0] * 33 + [0.0] * 95,
+                         "dst": [0.0] * 128},
+            check_scalars=["final"], check_arrays=[("dst", 128)])

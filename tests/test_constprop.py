@@ -1,0 +1,232 @@
+"""Unit tests for constant propagation with unreachable-code
+elimination (section 8)."""
+
+from repro.frontend.lower import compile_to_il
+from repro.il import nodes as N
+from repro.il.printer import format_function
+from repro.il.validate import validate_program
+from repro.opt.constprop import propagate_constants
+from repro.opt.deadcode import eliminate_dead_code
+
+from tests.helpers import assert_same_behaviour
+
+
+def run(src, name="f"):
+    program = compile_to_il(src)
+    fn = program.functions[name]
+    stats = propagate_constants(fn, program.globals)
+    validate_program(program)
+    return program, fn, stats
+
+
+class TestPropagation:
+    def test_simple_constant_flows(self):
+        src = "int f(void) { int x; x = 7; return x + 1; }"
+        _, fn, stats = run(src)
+        assert stats.constants_propagated >= 1
+        ret = fn.body[-1]
+        assert isinstance(ret, N.Return)
+        assert isinstance(ret.value, N.Const) and ret.value.value == 8
+
+    def test_two_step_chain(self):
+        src = ("int f(void) { int a, b; a = 3; b = a * 2; "
+               "return b + a; }")
+        _, fn, _ = run(src)
+        ret = fn.body[-1]
+        assert isinstance(ret.value, N.Const) and ret.value.value == 9
+
+    def test_merge_of_equal_constants(self):
+        src = """
+        int f(int c) {
+            int x;
+            if (c) x = 4; else x = 4;
+            return x;
+        }
+        """
+        _, fn, _ = run(src)
+        ret = fn.body[-1]
+        assert isinstance(ret.value, N.Const) and ret.value.value == 4
+
+    def test_merge_of_different_constants_blocked(self):
+        src = """
+        int f(int c) {
+            int x;
+            if (c) x = 1; else x = 2;
+            return x;
+        }
+        """
+        _, fn, _ = run(src)
+        ret = fn.body[-1]
+        assert isinstance(ret.value, N.VarRef)
+
+    def test_volatile_never_propagated(self):
+        src = ("volatile int v; int f(void) { v = 3; return v; }")
+        _, fn, _ = run(src)
+        # the return reads through a vol_ temp, never folds to 3
+        ret = fn.body[-1]
+        assert not isinstance(ret.value, N.Const)
+
+    def test_aliased_variable_not_propagated(self):
+        src = """
+        void g(int *p);
+        int f(void) {
+            int x;
+            x = 5;
+            g(&x);
+            return x;
+        }
+        """
+        _, fn, _ = run(src)
+        ret = fn.body[-1]
+        assert not isinstance(ret.value, N.Const)
+
+    def test_loop_variant_not_propagated(self):
+        src = """
+        int f(int n) {
+            int x;
+            x = 0;
+            while (n) { x = x + 1; n = n - 1; }
+            return x;
+        }
+        """
+        _, fn, _ = run(src)
+        ret = fn.body[-1]
+        assert not isinstance(ret.value, N.Const)
+
+
+class TestUnreachableElimination:
+    def test_false_branch_removed(self):
+        src = """
+        int g;
+        int f(void) {
+            int a;
+            a = 0;
+            if (a) g = 1;
+            return 0;
+        }
+        """
+        _, fn, stats = run(src)
+        assert stats.branches_folded == 1
+        assert not any(isinstance(s, N.IfStmt) for s in fn.body)
+
+    def test_true_branch_spliced(self):
+        src = """
+        int g;
+        void f(void) {
+            int a;
+            a = 1;
+            if (a) g = 10; else g = 20;
+        }
+        """
+        _, fn, stats = run(src)
+        assigns = [s for s in fn.all_statements()
+                   if isinstance(s, N.Assign)
+                   and isinstance(s.target, N.VarRef)
+                   and s.target.sym.name == "g"]
+        assert len(assigns) == 1 and assigns[0].value.value == 10
+
+    def test_daxpy_alpha_zero_pattern(self):
+        # Section 8's inlined example: in_a = 0.0 makes the FP
+        # assignment unreachable.
+        src = """
+        float out;
+        void f(float y, float z) {
+            float in_a;
+            in_a = 0.0;
+            if (in_a == 0.0)
+                goto lb_1;
+            out = y + in_a * z;
+        lb_1:
+            ;
+        }
+        """
+        program, fn, stats = run(src)
+        eliminate_dead_code(fn, program.globals)
+        stores = [s for s in fn.all_statements()
+                  if isinstance(s, N.Assign)
+                  and isinstance(s.target, N.VarRef)
+                  and s.target.sym.name == "out"]
+        assert stores == []
+
+    def test_zero_trip_do_loop_removed(self):
+        from repro.opt.while_to_do import convert_while_loops
+        src = """
+        float a[8];
+        void f(void) {
+            int i;
+            for (i = 0; i < 0; i++) a[i] = 1.0;
+        }
+        """
+        program = compile_to_il(src)
+        fn = program.functions["f"]
+        convert_while_loops(fn, program.symtab)
+        stats = propagate_constants(fn, program.globals)
+        assert stats.loops_deleted == 1
+        assert not any(isinstance(s, N.DoLoop)
+                       for s in fn.all_statements())
+
+    def test_dead_while_removed(self):
+        src = """
+        float a[8];
+        void f(void) {
+            int c;
+            c = 0;
+            while (c) a[0] = 1.0;
+        }
+        """
+        _, fn, stats = run(src)
+        assert stats.loops_deleted == 1
+
+    def test_branch_into_dead_code_protected(self):
+        # A goto targets the "dead" branch: must not be deleted.
+        src = """
+        int g;
+        int f(int x) {
+            int a;
+            a = 0;
+            if (x) goto inside;
+            if (a) {
+        inside:
+                g = 1;
+            }
+            return g;
+        }
+        """
+        program, fn, _ = run(src)
+        validate_program(program)
+        labels = [s for s in fn.all_statements()
+                  if isinstance(s, N.LabelStmt)]
+        assert labels  # target survived
+
+    def test_worklist_reaches_second_round_constants(self):
+        # Removing an unreachable def makes another def the unique
+        # reaching constant — the section 8 heuristic.
+        src = """
+        int f(void) {
+            int flag, x;
+            flag = 0;
+            x = 10;
+            if (flag)
+                x = 99;
+            return x + 1;
+        }
+        """
+        _, fn, stats = run(src)
+        ret = fn.body[-1]
+        assert isinstance(ret.value, N.Const) and ret.value.value == 11
+        assert stats.rounds >= 2
+
+
+class TestSemantics:
+    def test_behaviour_preserved_with_constants(self):
+        src = """
+        int out;
+        int main(void) {
+            int a, b;
+            a = 6;
+            b = 7;
+            if (a * b == 42) out = 1; else out = 2;
+            return out;
+        }
+        """
+        assert_same_behaviour(src, check_scalars=["out"])

@@ -1,0 +1,258 @@
+"""Unit + property tests for dependence analysis."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dependence.graph import (ANTI_DEP, AliasPolicy,
+                                    DependenceGraph, OUTPUT_DEP,
+                                    TRUE_DEP)
+from repro.dependence.refs import AffineRef, collect_refs, parse_ref
+from repro.dependence.tests import (DependenceResult, EQ, GT, LT,
+                                    brute_force_check)
+from repro.dependence.tests import test_pair as dep_test_pair
+from repro.frontend.ctypes_ import FLOAT
+from repro.frontend.lower import compile_to_il
+from repro.frontend.symtab import Symbol
+from repro.il import nodes as N
+from repro.opt.constprop import propagate_constants
+from repro.opt.deadcode import eliminate_dead_code
+from repro.opt.forward_sub import forward_substitute
+from repro.opt.ivsub import InductionVariableSubstitution
+from repro.opt.while_to_do import convert_while_loops
+from repro.opt import utils
+
+
+def prepared_loop(src, name="f"):
+    """Front end + scalar pipeline, returning the single DoLoop."""
+    program = compile_to_il(src)
+    fn = program.functions[name]
+    for lst in utils.each_stmt_list(fn.body):
+        forward_substitute(lst)
+    convert_while_loops(fn, program.symtab)
+    InductionVariableSubstitution(program.symtab).run(fn)
+    propagate_constants(fn, program.globals)
+    for lst in utils.each_stmt_list(fn.body):
+        forward_substitute(lst)
+    eliminate_dead_code(fn, program.globals)
+    loops = [s for s in fn.all_statements() if isinstance(s, N.DoLoop)]
+    assert len(loops) == 1, loops
+    return program, fn, loops[0]
+
+
+def mk_ref(coeff, offset, size=4, base_name="a", is_write=False,
+           loop_var=None):
+    base = Symbol(name=base_name, ctype=FLOAT, uid=abs(hash(base_name))
+                  % 999 + 1)
+    var = loop_var or Symbol(name="i", ctype=FLOAT, uid=5000)
+    return AffineRef(mem=None, stmt=None, is_write=is_write,
+                     base=("array", base), coeffs={var: coeff},
+                     sym_terms=(), offset=offset,
+                     elem_type=FLOAT), var
+
+
+class TestSIVTests:
+    def test_ziv_same_address_depends(self):
+        a, var = mk_ref(0, 8)
+        b, _ = mk_ref(0, 8, loop_var=var)
+        assert dep_test_pair(a, b, var, 10).possible
+
+    def test_ziv_distinct_addresses_independent(self):
+        a, var = mk_ref(0, 0)
+        b, _ = mk_ref(0, 8, loop_var=var)
+        assert not dep_test_pair(a, b, var, 10).possible
+
+    def test_strong_siv_distance(self):
+        a, var = mk_ref(4, 4)   # writes a[i+1]
+        b, _ = mk_ref(4, 0, loop_var=var)  # reads a[i]
+        result = dep_test_pair(a, b, var, 100)
+        assert result.possible and result.distance == 1
+        assert result.directions == frozenset({LT})
+
+    def test_strong_siv_same_subscript_is_loop_independent(self):
+        a, var = mk_ref(4, 0)
+        b, _ = mk_ref(4, 0, loop_var=var)
+        result = dep_test_pair(a, b, var, 100)
+        assert result.directions == frozenset({EQ})
+
+    def test_strong_siv_distance_exceeds_trip_count(self):
+        a, var = mk_ref(4, 4000)
+        b, _ = mk_ref(4, 0, loop_var=var)
+        assert not dep_test_pair(a, b, var, 10).possible
+
+    def test_partial_overlap_detected(self):
+        # *(p + 4i) vs *(p + 4i + 2): 2-byte offset still overlaps.
+        a, var = mk_ref(4, 0)
+        b, _ = mk_ref(4, 2, loop_var=var)
+        assert dep_test_pair(a, b, var, 10).possible
+
+    def test_gcd_test_disproves(self):
+        # 8i vs 8i+4: always 4 bytes apart, gcd 8 ∤ 4.
+        a, var = mk_ref(8, 0)
+        b, _ = mk_ref(8, 4, loop_var=var)
+        assert not dep_test_pair(a, b, var, 100).possible
+
+    def test_weak_siv_crossing(self):
+        # a[i] vs a[10-i]-ish: c1=4, c2=-4.
+        a, var = mk_ref(4, 0)
+        b, _ = mk_ref(-4, 40, loop_var=var)
+        result = dep_test_pair(a, b, var, 100)
+        assert result.possible
+
+    def test_different_bases_independent(self):
+        a, var = mk_ref(4, 0, base_name="a")
+        b, _ = mk_ref(4, 0, base_name="b", loop_var=var)
+        assert not dep_test_pair(a, b, var, 10).possible
+
+    @settings(max_examples=300, deadline=None)
+    @given(c1=st.integers(-4, 4).map(lambda k: 4 * k),
+           c2=st.integers(-4, 4).map(lambda k: 4 * k),
+           k1=st.integers(-6, 6).map(lambda k: 4 * k),
+           k2=st.integers(-6, 6).map(lambda k: 4 * k),
+           n=st.integers(1, 12))
+    def test_soundness_vs_brute_force(self, c1, c2, k1, k2, n):
+        """If the analytic test says independent (or omits a
+        direction), brute force must agree — soundness."""
+        a, var = mk_ref(c1, k1)
+        b, _ = mk_ref(c2, k2, loop_var=var)
+        result = dep_test_pair(a, b, var, n)
+        actual = brute_force_check(a, b, var, n)
+        if not result.possible:
+            assert actual == set(), (
+                f"unsound: claimed independent but {actual} overlap "
+                f"(c1={c1}, c2={c2}, k1={k1}, k2={k2}, n={n})")
+        else:
+            assert actual <= set(result.directions), (
+                f"missing directions: actual {actual} vs "
+                f"{set(result.directions)}")
+
+
+class TestRefParsing:
+    def _refs(self, src):
+        program, fn, loop = prepared_loop(src)
+        defined = utils.symbols_defined_in(loop.body)
+        invariants = {s for stmt in loop.body
+                      for e in N.stmt_exprs(stmt)
+                      for s in N.vars_read(e)
+                      if s not in defined and s != loop.var}
+        return collect_refs(loop.body, [loop.var], invariants), loop
+
+    def test_named_array_base(self):
+        refs, loop = self._refs(
+            "float a[64]; void f(int n) { int i;"
+            " for (i = 0; i < n; i++) a[i] = 1.0; }")
+        writes = [r for r in refs if r.is_write]
+        assert writes[0].base[0] == "array"
+        assert writes[0].base[1].name == "a"
+        assert writes[0].coeff(loop.var) == 4
+
+    def test_constant_offset(self):
+        refs, loop = self._refs(
+            "float a[64]; void f(int n) { int i;"
+            " for (i = 0; i < n; i++) a[i+2] = 1.0; }")
+        writes = [r for r in refs if r.is_write]
+        assert writes[0].offset == 8
+
+    def test_strided_coefficient(self):
+        refs, loop = self._refs(
+            "float a[128]; void f(int n) { int i;"
+            " for (i = 0; i < n; i++) a[2*i] = 1.0; }")
+        writes = [r for r in refs if r.is_write]
+        assert writes[0].coeff(loop.var) == 8
+
+    def test_pointer_base(self):
+        refs, loop = self._refs(
+            "void f(float *p, int n) { int i;"
+            " for (i = 0; i < n; i++) p[i] = 1.0; }")
+        writes = [r for r in refs if r.is_write]
+        assert writes[0].base[0] == "pointer"
+
+    def test_symbolic_invariant_term(self):
+        refs, loop = self._refs(
+            "float a[256]; void f(int n, int off) { int i;"
+            " for (i = 0; i < n; i++) a[i + off] = 1.0; }")
+        writes = [r for r in refs if r.is_write]
+        assert writes[0].sym_terms  # 4*off appears symbolically
+
+    def test_unanalyzable_base_is_none(self):
+        refs, loop = self._refs(
+            "float a[64]; void f(float **rows, int n) { int i;"
+            " for (i = 0; i < n; i++) rows[0][i] = 1.0; }")
+        writes = [r for r in refs if r.is_write]
+        assert any(w.base is None for w in writes) or writes
+
+
+class TestDependenceGraph:
+    def test_independent_loop_has_no_carried_edges(self):
+        src = ("float a[64], b[64]; void f(int n) { int i;"
+               " for (i = 0; i < n; i++) a[i] = b[i]; }")
+        _, _, loop = prepared_loop(src)
+        graph = DependenceGraph(loop)
+        assert not graph.has_carried_dependence()
+
+    def test_recurrence_has_carried_true_dep(self):
+        src = ("float a[64]; void f(int n) { int i;"
+               " for (i = 1; i < n; i++) a[i] = a[i-1]; }")
+        _, _, loop = prepared_loop(src)
+        graph = DependenceGraph(loop)
+        carried = [e for e in graph.carried_edges()
+                   if e.kind == TRUE_DEP]
+        assert carried and carried[0].distance == 1
+
+    def test_anti_dependence_direction(self):
+        src = ("float a[64]; void f(int n) { int i;"
+               " for (i = 0; i < n-1; i++) a[i] = a[i+1]; }")
+        _, _, loop = prepared_loop(src)
+        graph = DependenceGraph(loop)
+        kinds = {e.kind for e in graph.carried_edges()}
+        assert ANTI_DEP in kinds
+        assert TRUE_DEP not in kinds
+
+    def test_pointer_params_may_alias_by_default(self):
+        src = ("void f(float *p, float *q, int n) { int i;"
+               " for (i = 0; i < n; i++) p[i] = q[i]; }")
+        _, _, loop = prepared_loop(src)
+        graph = DependenceGraph(loop)
+        assert graph.has_carried_dependence()
+
+    def test_no_alias_policy_removes_pointer_conflicts(self):
+        src = ("void f(float *p, float *q, int n) { int i;"
+               " for (i = 0; i < n; i++) p[i] = q[i]; }")
+        _, _, loop = prepared_loop(src)
+        graph = DependenceGraph(loop,
+                                AliasPolicy(assume_no_alias=True))
+        assert not graph.has_carried_dependence()
+
+    def test_distinct_arrays_never_conflict(self):
+        src = ("float a[64], b[64]; void f(int n) { int i;"
+               " for (i = 0; i < n; i++) { a[i] = 1.0; b[i] = 2.0; } }")
+        _, _, loop = prepared_loop(src)
+        graph = DependenceGraph(loop)
+        mem_edges = [e for e in graph.edges if e.reason != ""
+                     and e.reason.startswith(("affine", "may"))]
+        assert not mem_edges
+
+    def test_scalar_recurrence_forms_cycle(self):
+        src = ("float s; float a[64]; void f(int n) { int i; "
+               " for (i = 0; i < n; i++) a[i] = 1.0; }")
+        # a scalar accumulation pattern:
+        src = ("float a[64]; void f(int n) { float s; int i; s = 0.0;"
+               " for (i = 0; i < n; i++) { s = s + a[i]; a[i] = s; } }")
+        _, _, loop = prepared_loop(src)
+        graph = DependenceGraph(loop)
+        self_edges = [e for e in graph.edges
+                      if e.carried and "scalar" in e.reason]
+        assert self_edges
+
+    def test_ziv_store_self_dependence(self):
+        src = ("float a[8]; void f(int n) { int i;"
+               " for (i = 0; i < n; i++) a[0] = i; }")
+        _, _, loop = prepared_loop(src)
+        graph = DependenceGraph(loop)
+        assert any(e.carried and e.src == e.dst for e in graph.edges)
+
+    def test_call_conflicts_with_everything(self):
+        src = ("void g(void); float a[8]; void f(int n) { int i;"
+               " for (i = 0; i < n; i++) { a[i] = 1.0; g(); } }")
+        _, _, loop = prepared_loop(src)
+        graph = DependenceGraph(loop)
+        assert any(e.reason == "call" for e in graph.edges)

@@ -1,0 +1,223 @@
+"""Unit tests for the section 6 dependence-driven optimizations:
+register pipelining, strength reduction, and the loop scheduler."""
+
+from repro.frontend.lower import compile_to_il
+from repro.il import nodes as N
+from repro.il.printer import format_function
+from repro.il.validate import validate_program
+from repro.opt.regpipe import RegisterPipelining
+from repro.opt.strength import StrengthReduction
+from repro.pipeline import CompilerOptions, compile_c
+from repro.sched.scheduler import LoopScheduler, schedule_program
+from repro.titan.config import TitanConfig
+from repro.workloads import stencils
+
+from tests.helpers import assert_same_behaviour
+
+
+BACKSOLVE_MAIN = """
+float x[64], y[64], z[64];
+int main(void) {
+    float *p, *q;
+    int i, n;
+    n = 64;
+    p = &x[1];
+    q = &x[0];
+    for (i = 0; i < n-2; i++)
+        p[i] = z[i] * (y[i] - q[i]);
+    return 0;
+}
+"""
+
+BACKSOLVE_DATA = {
+    "x": [1.0] * 64,
+    "y": [i + 2.0 for i in range(64)],
+    "z": [0.5] * 64,
+}
+
+
+class TestRegisterPipelining:
+    def test_backsolve_load_replaced(self):
+        result = compile_c(BACKSOLVE_MAIN)
+        stats = result.regpipe_stats["main"]
+        assert stats.loads_replaced == 1
+        assert stats.preloads_inserted == 1
+
+    def test_backsolve_output_shape(self):
+        # the paper's section 6 transcript: f_reg feeds itself.
+        result = compile_c(BACKSOLVE_MAIN)
+        text = result.function_text("main")
+        assert "f_reg" in text
+
+    def test_backsolve_semantics(self):
+        assert_same_behaviour(BACKSOLVE_MAIN, arrays=BACKSOLVE_DATA,
+                              check_arrays=[("x", 64)])
+
+    def test_no_pipelining_without_carried_flow(self):
+        src = """
+        float a[64], b[64];
+        int main(void) {
+            int i;
+            for (i = 0; i < 64; i++) a[i] = b[i];
+            return 0;
+        }
+        """
+        result = compile_c(src, CompilerOptions(vectorize=False))
+        stats = result.regpipe_stats["main"]
+        assert stats.loads_replaced == 0
+
+    def test_interfering_store_blocks_pipelining(self):
+        # A second may-aliasing store invalidates the register copy.
+        src = """
+        void f(float *a, float *b, int n) {
+            int i;
+            for (i = 0; i < n-1; i++) {
+                a[i+1] = a[i] * 2.0f;
+                b[i] = 0.0f;
+            }
+        }
+        """
+        result = compile_c(src, CompilerOptions(vectorize=False))
+        stats = result.regpipe_stats["f"]
+        assert stats.loads_replaced == 0
+
+    def test_zero_trip_guarded_preload(self):
+        src = """
+        float x[8], y[8], z[8];
+        int n;
+        int main(void) {
+            float *p, *q;
+            int i;
+            p = &x[1]; q = &x[0];
+            for (i = 0; i < n-2; i++)
+                p[i] = z[i] * (y[i] - q[i]);
+            return 0;
+        }
+        """
+        # n = 0 → loop and preload must both be skipped safely
+        assert_same_behaviour(src, scalars={"n": 0},
+                              arrays={"x": [3.0] * 8},
+                              check_arrays=[("x", 8)])
+
+
+class TestStrengthReduction:
+    def test_addresses_become_pointer_bumps(self):
+        result = compile_c(BACKSOLVE_MAIN)
+        text = result.function_text("main")
+        assert "sr_ptr" in text
+        # no 4*i multiplications left inside the residual loop
+        stats = result.strength_stats["main"]
+        assert stats.pointer_temps >= 3
+        assert stats.addresses_reduced >= 3
+
+    def test_vector_loops_untouched(self):
+        # strength reduction must never sequentialize a vector loop
+        src = """
+        float a[128], b[128];
+        int main(void) {
+            int i;
+            for (i = 0; i < 128; i++) a[i] = b[i];
+            return 0;
+        }
+        """
+        result = compile_c(src)
+        stats = result.strength_stats["main"]
+        assert stats.addresses_reduced == 0
+
+    def test_invariant_hoisting(self):
+        src = """
+        float a[64];
+        float u, v;
+        int main(void) {
+            int i;
+            for (i = 0; i < 64; i++)
+                a[i] = a[i] * (u * v + 1.0f);
+            return 0;
+        }
+        """
+        result = compile_c(src, CompilerOptions(vectorize=False))
+        stats = result.strength_stats["main"]
+        assert stats.invariants_hoisted >= 1
+        assert_same_behaviour(
+            src, scalars={"u": 2.0, "v": 3.0},
+            arrays={"a": [1.0] * 64}, check_arrays=[("a", 64)],
+            options=CompilerOptions(vectorize=False))
+
+    def test_shared_pointer_for_same_base(self):
+        # x[i] and x[i+1] share one pointer temp with offset.
+        result = compile_c(BACKSOLVE_MAIN,
+                           CompilerOptions(reg_pipeline=False))
+        text = result.function_text("main")
+        stats = result.strength_stats["main"]
+        # z, y, x (shared between the two x refs) = 3 temps, 4 refs
+        assert stats.pointer_temps == 3
+        assert stats.addresses_reduced == 4
+
+    def test_semantics_with_stride(self):
+        src = """
+        float a[256];
+        int main(void) {
+            int i;
+            for (i = 0; i < 100; i += 2)
+                a[i] = a[i] + 1.0f;
+            return 0;
+        }
+        """
+        assert_same_behaviour(
+            src, arrays={"a": [float(i) for i in range(256)]},
+            check_arrays=[("a", 256)],
+            options=CompilerOptions(vectorize=False))
+
+
+class TestScheduler:
+    def _schedules(self, src, options=None):
+        result = compile_c(src, options or CompilerOptions(
+            vectorize=False, strength_reduction=False,
+            reg_pipeline=False))
+        scheduler = LoopScheduler(TitanConfig())
+        for fn in result.program.functions.values():
+            scheduler.run(fn)
+        return scheduler.schedules
+
+    def test_independent_loop_resource_bound(self):
+        src = """
+        float a[64], b[64];
+        void f(int n) {
+            int i;
+            for (i = 0; i < n; i++) a[i] = b[i] * 2.0f;
+        }
+        """
+        schedules = self._schedules(src)
+        (sched,) = schedules.values()
+        assert sched.recurrence_bound == 0.0
+        assert sched.initiation_interval == sched.resource_bound
+
+    def test_recurrence_bound_dominates(self):
+        schedules = self._schedules(BACKSOLVE_MAIN.replace(
+            "int main(void)", "int main(void)"))
+        # after regpipe the recurrence runs through f_reg; without it
+        # the memory recurrence is still there.
+        assert schedules
+        (sched,) = schedules.values()
+        cfg = TitanConfig()
+        assert sched.recurrence_bound >= cfg.fp_latency
+
+    def test_vector_loops_not_scheduled(self):
+        src = """
+        float a[128], b[128];
+        void f(void) {
+            int i;
+            for (i = 0; i < 128; i++) a[i] = b[i];
+        }
+        """
+        result = compile_c(src)  # vectorizes
+        scheduler = LoopScheduler(TitanConfig())
+        for fn in result.program.functions.values():
+            scheduler.run(fn)
+        assert scheduler.schedules == {}
+
+    def test_pipeline_captures_schedules(self):
+        result = compile_c(BACKSOLVE_MAIN)
+        assert result.schedules  # captured pre-strength-reduction
+        (sched,) = result.schedules.values()
+        assert sched.initiation_interval >= 2 * TitanConfig().fp_latency

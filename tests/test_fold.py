@@ -1,0 +1,137 @@
+"""Unit tests for constant folding and algebraic simplification."""
+
+from repro.frontend.ctypes_ import DOUBLE, FLOAT, INT, UINT
+from repro.il import nodes as N
+from repro.opt.fold import (coerce, const_int_value, fold_binop,
+                            fold_unop, simplify)
+
+
+def b(op, left, right, ctype=INT):
+    return N.BinOp(op=op, left=left, right=right, ctype=ctype)
+
+
+def c(value, ctype=INT):
+    return N.Const(value=value, ctype=ctype)
+
+
+def var(name="v", ctype=INT):
+    from repro.frontend.symtab import Symbol
+    return N.VarRef(sym=Symbol(name=name, ctype=ctype, uid=hash(name)
+                               % 10000 + 1), ctype=ctype)
+
+
+class TestFoldBinop:
+    def test_int_add(self):
+        assert fold_binop("+", 2, 3, INT) == 5
+
+    def test_int_overflow_wraps(self):
+        assert fold_binop("+", 2**31 - 1, 1, INT) == -(2**31)
+
+    def test_unsigned_subtract_wraps(self):
+        assert fold_binop("-", 0, 1, UINT) == 2**32 - 1
+
+    def test_division_toward_zero(self):
+        assert fold_binop("/", -7, 2, INT) == -3
+
+    def test_division_by_zero_returns_none(self):
+        assert fold_binop("/", 1, 0, INT) is None
+
+    def test_modulo_by_zero_returns_none(self):
+        assert fold_binop("%", 1, 0, INT) is None
+
+    def test_float_division(self):
+        assert fold_binop("/", 1.0, 4.0, DOUBLE) == 0.25
+
+    def test_comparisons_yield_01(self):
+        assert fold_binop("<", 1, 2, INT) == 1
+        assert fold_binop(">=", 1, 2, INT) == 0
+
+    def test_min_max(self):
+        assert fold_binop("min", 3, 7, INT) == 3
+        assert fold_binop("max", 3, 7, INT) == 7
+
+    def test_shifts(self):
+        assert fold_binop("<<", 1, 5, INT) == 32
+        assert fold_binop(">>", 32, 3, INT) == 4
+
+    def test_unop_neg(self):
+        assert fold_unop("neg", 5, INT) == -5
+
+    def test_unop_not(self):
+        assert fold_unop("not", 0, INT) == 1
+
+    def test_unop_bnot(self):
+        assert fold_unop("bnot", 0, INT) == -1
+
+    def test_coerce_float_to_int_type(self):
+        assert coerce(3.0, INT) == 3
+
+
+class TestSimplify:
+    def test_fold_constant_tree(self):
+        expr = b("+", b("*", c(2), c(3)), c(4))
+        out = simplify(expr)
+        assert isinstance(out, N.Const) and out.value == 10
+
+    def test_add_zero_identity(self):
+        v = var()
+        out = simplify(b("+", v, c(0)))
+        assert isinstance(out, N.VarRef)
+
+    def test_mul_one_identity(self):
+        v = var()
+        out = simplify(b("*", v, c(1)))
+        assert isinstance(out, N.VarRef)
+
+    def test_mul_zero_integer(self):
+        v = var()
+        out = simplify(b("*", v, c(0)))
+        assert isinstance(out, N.Const) and out.value == 0
+
+    def test_mul_zero_float_not_simplified(self):
+        # 0 * NaN != 0: floats keep the multiply.
+        v = var(ctype=FLOAT)
+        out = simplify(b("*", v, c(0.0, FLOAT), FLOAT))
+        assert isinstance(out, N.BinOp)
+
+    def test_constant_canonicalized_left(self):
+        v = var()
+        out = simplify(b("*", v, c(4)))
+        assert isinstance(out, N.BinOp)
+        assert isinstance(out.left, N.Const)
+
+    def test_reassociate_add_chain(self):
+        # 1 + (n - 1) → n, the trip-count cleanup.
+        v = var("n")
+        out = simplify(b("+", c(1), b("-", v, c(1))))
+        assert isinstance(out, N.VarRef)
+
+    def test_reassociate_mul_chain(self):
+        v = var()
+        out = simplify(b("*", c(2), b("*", c(3), v)))
+        assert isinstance(out, N.BinOp)
+        assert out.left.value == 6
+
+    def test_cast_of_constant_folds(self):
+        out = simplify(N.Cast(operand=c(3), ctype=DOUBLE))
+        assert isinstance(out, N.Const) and out.value == 3.0
+
+    def test_redundant_cast_dropped(self):
+        v = var()
+        out = simplify(N.Cast(operand=v, ctype=INT))
+        assert isinstance(out, N.VarRef)
+
+    def test_nested_simplification(self):
+        # (v + 0) * 1 → v
+        v = var()
+        out = simplify(b("*", b("+", v, c(0)), c(1)))
+        assert isinstance(out, N.VarRef)
+
+    def test_div_by_one(self):
+        v = var()
+        out = simplify(b("/", v, c(1)))
+        assert isinstance(out, N.VarRef)
+
+    def test_const_int_value(self):
+        assert const_int_value(b("+", c(40), c(2))) == 42
+        assert const_int_value(var()) is None

@@ -1,0 +1,230 @@
+"""Golden tests: every code transcript printed in the paper must be
+reproduced by our pipeline (experiment E3).
+
+Each test quotes the paper's input and asserts the structural features
+of the paper's printed output at the corresponding stage.
+"""
+
+from repro.frontend.lower import compile_to_il
+from repro.il import nodes as N
+from repro.il.printer import format_function
+from repro.interp.interpreter import Interpreter
+from repro.pipeline import CompilerOptions, TitanCompiler, compile_c
+
+
+class TestSection53PointerCopy:
+    """while(n) { *a++ = *b++; n--; } — the section 5.3 transcript."""
+
+    SRC = """
+    void copy(float *a, float *b, int n)
+    {
+        while (n) {
+            *a++ = *b++;
+            n--;
+        }
+    }
+    """
+
+    def test_front_end_transcript(self):
+        # The paper's lowered form: temp_1 = a; a = temp_1 + 4; ...
+        program = compile_to_il(self.SRC)
+        text = format_function(program.functions["copy"])
+        assert "= a;" in text          # temp_1 = a
+        assert "a = temp" in text      # a = temp_1 + 4
+        assert "+ 4" in text
+        assert "n = temp" in text      # n = temp_k - 1
+
+    def test_after_ivsub_star_form(self):
+        # "*(a + 4*i) = *(b + 4*i)" — the substituted form (before
+        # strength reduction converts it back to pointer bumps).
+        result = compile_c(self.SRC,
+                           CompilerOptions(vectorize=False,
+                                           reg_pipeline=False,
+                                           strength_reduction=False))
+        text = result.function_text("copy")
+        assert "a + 4 * dovar" in text
+        assert "b + 4 * dovar" in text
+
+
+class TestSection6Backsolve:
+    """p[i] = z[i] * (y[i] - q[i]) with p = &x[1], q = &x[0]."""
+
+    SRC = """
+    float x[512], y[512], z[512];
+    int n;
+    void backsolve(void)
+    {
+        float *p, *q;
+        int i;
+        p = &x[1];
+        q = &x[0];
+        for (i = 0; i < n-2; i++)
+            p[i] = z[i] * (y[i] - q[i]);
+    }
+    """
+
+    def test_not_vectorized(self):
+        # "cannot be correctly run in vector or parallel"
+        result = compile_c(self.SRC)
+        assert result.vectorize_stats["backsolve"].loops_vectorized == 0
+
+    def test_register_pipelining_output(self):
+        # f_reg1 = *temp_z * (*temp_y - f_reg1); *temp_x = f_reg1
+        result = compile_c(self.SRC)
+        text = result.function_text("backsolve")
+        assert "f_reg" in text
+        assert "sr_ptr" in text  # our temp_x/temp_y/temp_z pointers
+
+    def test_pointer_bumps_by_four(self):
+        result = compile_c(self.SRC)
+        text = result.function_text("backsolve")
+        assert "+ 4;" in text  # temp_x = temp_x + 4 etc.
+
+    def test_no_multiplications_left_in_loop(self):
+        # "strength reduction is able to eliminate all the integer
+        # multiplications within the loop"
+        result = compile_c(self.SRC)
+        fn = result.program.functions["backsolve"]
+        (loop,) = [s for s in fn.all_statements()
+                   if isinstance(s, N.DoLoop)]
+        for stmt in loop.body:
+            for expr in N.stmt_exprs(stmt):
+                for node in N.walk_expr(expr):
+                    if isinstance(node, N.BinOp) and node.op == "*":
+                        assert node.ctype.is_float, \
+                            "integer multiply survived in loop body"
+
+
+class TestSection8UnreachableDaxpy:
+    """daxpy(*x, y, 0.0, z) — constant propagation reveals the
+    floating assignment is unreachable."""
+
+    SRC = """
+    float gx, gy, gz;
+    void daxpy(float *x, float y, float a, float z)
+    {
+        if (a == 0.0)
+            return;
+        *x = y + a * z;
+    }
+    void caller(void)
+    {
+        daxpy(&gx, gy, 0.0, gz);
+    }
+    """
+
+    def test_store_eliminated(self):
+        result = compile_c(self.SRC)
+        caller = result.program.functions["caller"]
+        stores = [s for s in caller.all_statements()
+                  if isinstance(s, N.Assign)
+                  and isinstance(s.target, N.Mem)]
+        assert stores == []
+
+    def test_caller_body_essentially_empty(self):
+        result = compile_c(self.SRC)
+        caller = result.program.functions["caller"]
+        kinds = {type(s).__name__ for s in caller.all_statements()}
+        assert "CallStmt" not in kinds  # inlined
+        # No loops, no branches — everything folded away.
+        assert "WhileLoop" not in kinds and "DoLoop" not in kinds
+
+
+class TestSection9Daxpy:
+    """The full worked example: inline → IVsub/while→DO →
+    constprop/DCE → vectorize → do parallel."""
+
+    SRC = """
+    float a[100], b[100], c[100];
+    void daxpy(float *x, float *y, float *z, float alpha, int n)
+    {
+        if (n <= 0)
+            return;
+        if (alpha == 0)
+            return;
+        for (; n; n--)
+            *x++ = *y++ + alpha * *z++;
+    }
+    int main(void)
+    {
+        daxpy(a, b, c, 1.0, 100);
+        return 0;
+    }
+    """
+
+    def _stages(self):
+        compiler = TitanCompiler(CompilerOptions(dump_stages=True))
+        return compiler.compile(self.SRC)
+
+    def test_stage_inline_has_in_temps_and_labels(self):
+        result = self._stages()
+        text = result.stage_text("inline")
+        assert "in_x" in text and "in_alpha" in text
+        assert "lb_" in text
+        assert "in_n" in text
+
+    def test_stage_scalar_opt_folds_guards(self):
+        # After constprop: in_n = 100, in_alpha = 1.0 → both guards
+        # gone, loop converted and counted.
+        result = self._stages()
+        text = result.stage_text("scalar-opt")
+        main_text = text[text.index("int main"):]
+        assert "if" not in main_text
+        assert "do fortran" in main_text or "do parallel" in main_text
+
+    def test_final_do_parallel_with_sections(self):
+        # the paper's output: do parallel vi = 0,99,32 with vector
+        # sections and min() for the partial strip.
+        result = compile_c(self.SRC)
+        text = result.function_text("main")
+        assert "do parallel" in text
+        assert "0, 99, 32" in text
+        assert "min(32" in text
+        assert "/* vector */" in text
+
+    def test_constant_alpha_one_eliminates_multiply(self):
+        result = compile_c(self.SRC)
+        main = result.program.functions["main"]
+        for stmt in main.all_statements():
+            if isinstance(stmt, N.VectorAssign):
+                ops = [e.op for e in N.walk_expr(stmt.value)
+                       if isinstance(e, N.BinOp)
+                       and e.ctype.is_float]
+                assert ops == ["+"]
+
+    def test_executes_correctly(self):
+        result = compile_c(self.SRC)
+        interp = Interpreter(result.program)
+        interp.set_global_array("b", [float(i) for i in range(100)])
+        interp.set_global_array("c", [2.0] * 100)
+        interp.run("main")
+        assert interp.global_array("a", 100) == \
+            [float(i) + 2.0 for i in range(100)]
+
+
+class TestSection1Volatile:
+    """The keyboard_status spin loop must never be optimized away."""
+
+    SRC = """
+    volatile int keyboard_status;
+    int main(void)
+    {
+        keyboard_status = 0;
+        while (!keyboard_status)
+            ;
+        return 1;
+    }
+    """
+
+    def test_loop_survives_full_pipeline(self):
+        result = compile_c(self.SRC)
+        main = result.program.functions["main"]
+        assert any(isinstance(s, N.WhileLoop)
+                   for s in main.all_statements())
+
+    def test_device_still_observed_after_optimization(self):
+        result = compile_c(self.SRC)
+        interp = Interpreter(result.program)
+        values = iter([0, 0, 1])
+        interp.add_device("keyboard_status", on_read=lambda: next(values))
+        assert interp.run("main") == 1

@@ -1,0 +1,221 @@
+"""Unit tests for inline expansion and procedure databases (§7)."""
+
+import pytest
+
+from repro.frontend.lower import compile_to_il
+from repro.il import nodes as N
+from repro.il.validate import validate_program
+from repro.inline.database import InlineDatabase, import_entry
+from repro.inline.inliner import InlineOptions, inline_program
+from repro.pipeline import CompilerOptions, compile_c
+from repro.workloads import blas
+
+from tests.helpers import assert_same_behaviour
+
+
+def inline(src, **opts):
+    program = compile_to_il(src)
+    stats = inline_program(program, options=InlineOptions(**opts))
+    validate_program(program)
+    return program, stats
+
+
+class TestBasicInlining:
+    def test_call_replaced_by_body(self):
+        src = ("int add(int a, int b) { return a + b; }"
+               "int main(void) { int r; r = add(2, 3); return r; }")
+        program, stats = inline(src)
+        assert stats.sites_inlined == 1
+        main = program.functions["main"]
+        assert not any(isinstance(e, N.CallExpr)
+                       for s in main.all_statements()
+                       for x in N.stmt_exprs(s)
+                       for e in N.walk_expr(x))
+
+    def test_parameters_bound_to_in_temps(self):
+        src = ("int add(int a, int b) { return a + b; }"
+               "int main(void) { return add(2, 3); }")
+        program, _ = inline(src)
+        main = program.functions["main"]
+        names = [s.target.sym.name for s in main.all_statements()
+                 if isinstance(s, N.Assign)
+                 and isinstance(s.target, N.VarRef)]
+        assert "in_a" in names and "in_b" in names
+
+    def test_return_becomes_goto_exit_label(self):
+        src = ("int f(int x) { if (x) return 1; return 2; }"
+               "int main(void) { return f(1); }")
+        program, _ = inline(src)
+        main = program.functions["main"]
+        labels = [s.label for s in main.all_statements()
+                  if isinstance(s, N.LabelStmt)]
+        assert any(label.startswith("lb_") for label in labels)
+
+    def test_semantics_preserved(self):
+        src = """
+        int out;
+        int square(int x) { return x * x; }
+        int main(void) {
+            out = square(6) + square(2);
+            return out;
+        }
+        """
+        assert_same_behaviour(src, check_scalars=["out"])
+
+    def test_void_function_inlined(self):
+        src = """
+        int g;
+        void set(int v) { g = v; }
+        int main(void) { set(42); return g; }
+        """
+        program, stats = inline(src)
+        assert stats.sites_inlined == 1
+        assert_same_behaviour(src, check_scalars=["g"])
+
+    def test_nested_calls_inline_bottom_up(self):
+        src = """
+        int inner(int x) { return x + 1; }
+        int outer(int x) { return inner(x) * 2; }
+        int main(void) { return outer(10); }
+        """
+        program, stats = inline(src)
+        main = program.functions["main"]
+        assert not any(isinstance(e, N.CallExpr)
+                       for s in main.all_statements()
+                       for x in N.stmt_exprs(s)
+                       for e in N.walk_expr(x))
+
+    def test_locals_renamed_per_site(self):
+        src = """
+        int f(int x) { int t; t = x * 2; return t; }
+        int main(void) { return f(1) + f(2); }
+        """
+        program, stats = inline(src)
+        assert stats.sites_inlined == 2
+        validate_program(program)
+
+
+class TestRecursionFencing:
+    def test_direct_recursion_not_inlined_forever(self):
+        src = ("int fact(int n) { if (n <= 1) return 1;"
+               " return n * fact(n - 1); }"
+               "int main(void) { return fact(5); }")
+        program, stats = inline(src)
+        assert stats.recursion_skipped >= 1
+        validate_program(program)
+
+    def test_recursive_semantics_preserved(self):
+        src = ("int fact(int n) { if (n <= 1) return 1;"
+               " return n * fact(n - 1); }"
+               "int out;"
+               "int main(void) { out = fact(6); return out; }")
+        assert_same_behaviour(src, check_scalars=["out"])
+
+    def test_mutual_recursion_fenced(self):
+        src = """
+        int odd(int n);
+        int even(int n) { if (n == 0) return 1; return odd(n - 1); }
+        int odd(int n) { if (n == 0) return 0; return even(n - 1); }
+        int out;
+        int main(void) { out = even(8); return out; }
+        """
+        program, stats = inline(src)
+        validate_program(program)
+        assert_same_behaviour(src, check_scalars=["out"])
+
+    def test_size_limit_respected(self):
+        body = "g = g + 1; " * 100
+        src = (f"int g; void big(void) {{ {body} }}"
+               "int main(void) { big(); return g; }")
+        program, stats = inline(src, max_callee_statements=10)
+        assert stats.too_large_skipped == 1
+
+
+class TestDatabase:
+    def test_roundtrip_through_pickle(self):
+        program = compile_to_il(blas.MATH_LIBRARY_C)
+        db = InlineDatabase()
+        db.add_program(program)
+        blob = db.dumps()
+        restored = InlineDatabase.loads(blob)
+        assert set(restored.names()) == set(db.names())
+        assert "daxpy" in restored
+
+    def test_save_load_file(self, tmp_path):
+        program = compile_to_il(blas.MATH_LIBRARY_C)
+        db = InlineDatabase()
+        db.add_program(program)
+        path = str(tmp_path / "math.ildb")
+        db.save(path)
+        loaded = InlineDatabase.load(path)
+        assert "sdot" in loaded
+
+    def test_inline_from_database(self):
+        lib = compile_to_il(blas.MATH_LIBRARY_C)
+        db = InlineDatabase()
+        db.add_program(lib)
+        client = compile_to_il(blas.library_client(n=64))
+        stats = inline_program(client, database=db)
+        assert stats.sites_inlined == 1
+        validate_program(client)
+
+    def test_database_inlined_code_runs(self):
+        lib = compile_to_il(blas.MATH_LIBRARY_C)
+        db = InlineDatabase()
+        db.add_program(lib)
+        result = compile_c(blas.library_client(n=32), database=db)
+        from repro.interp.interpreter import Interpreter
+        interp = Interpreter(result.program)
+        interp.set_global_array("b", [1.0] * 32)
+        interp.set_global_array("c", [2.0] * 32)
+        interp.run("bench")
+        assert interp.global_array("a", 32) == [6.0] * 32  # 1 + 2.5*2
+
+    def test_imported_symbols_fresh_uids(self):
+        lib = compile_to_il(blas.DAXPY_C)
+        db = InlineDatabase()
+        db.add_program(lib)
+        client = compile_to_il(blas.library_client(n=8))
+        entry = db.get("daxpy")
+        imported = import_entry(entry, client)
+        uids = [s.uid for s in imported.params]
+        all_uids = set(client.symtab.symbols)
+        assert all(uid in all_uids for uid in uids)
+
+    def test_static_variable_shared_between_call_and_inline(self):
+        # Statics were promoted to globals at lowering, so a database
+        # procedure keeps one counter no matter how it is invoked.
+        src = """
+        int bump(void) { static int count; count = count + 1;
+                         return count; }
+        int out;
+        int main(void) { bump(); bump(); out = bump(); return out; }
+        """
+        assert_same_behaviour(src, check_scalars=["out"])
+
+
+class TestInlineEnablesOptimization:
+    def test_daxpy_vectorizes_only_after_inline(self):
+        src = blas.caller_program(n=256)
+        with_inline = compile_c(src, CompilerOptions())
+        without = compile_c(src, CompilerOptions(inline=False))
+        assert with_inline.vectorize_stats["bench"].loops_vectorized == 1
+        assert without.vectorize_stats["daxpy"].loops_vectorized == 0
+
+    def test_constant_alpha_zero_removes_loop(self):
+        # Section 8: daxpy(..., 0.0, ...) — the whole loop is dead.
+        src = """
+        float a[64], b[64], c[64];
+        void daxpy(float *x, float *y, float *z, float alpha, int n)
+        {
+            if (n <= 0) return;
+            if (alpha == 0) return;
+            for (; n; n--)
+                *x++ = *y++ + alpha * *z++;
+        }
+        void bench(void) { daxpy(a, b, c, 0.0, 64); }
+        """
+        result = compile_c(src)
+        bench = result.program.functions["bench"]
+        assert not any(isinstance(s, (N.DoLoop, N.WhileLoop))
+                       for s in bench.all_statements())

@@ -1,0 +1,214 @@
+"""Miscellaneous integration coverage: new CLI flags, builtins under
+optimization, cross-feature interactions."""
+
+import pytest
+
+from repro.cli import main
+from repro.frontend.lower import compile_to_il
+from repro.il import nodes as N
+from repro.interp.interpreter import Interpreter
+from repro.pipeline import CompilerOptions, compile_c
+
+from tests.helpers import assert_same_behaviour
+
+
+class TestCLIFlags:
+    def test_parallelize_lists_flag(self, tmp_path, capsys):
+        src = tmp_path / "list.c"
+        src.write_text("""
+struct node { float v; struct node *next; };
+void work(struct node *head) {
+    struct node *p;
+    for (p = head; p; p = p->next)
+        p->v = p->v * 2.0f;
+}
+""")
+        assert main([str(src)]) == 0
+        plain = capsys.readouterr().out
+        assert "parallel-list" not in plain
+        assert main([str(src), "--parallelize-lists"]) == 0
+        out = capsys.readouterr().out
+        assert "do parallel-list" in out
+
+    def test_vector_length_flag(self, tmp_path, capsys):
+        src = tmp_path / "v.c"
+        src.write_text("""
+float a[100], b[100];
+void f(void) { int i; for (i = 0; i < 100; i++) a[i] = b[i]; }
+""")
+        assert main([str(src), "--vector-length", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "16" in out and "min(16" in out
+
+    def test_strict_while_flag(self, tmp_path, capsys):
+        src = tmp_path / "w.c"
+        src.write_text("""
+void f(float *d, float *s, int n) { for (; n; n--) *d++ = *s++; }
+""")
+        assert main([str(src), "--strict-while"]) == 0
+        out = capsys.readouterr().out
+        assert "while" in out  # not converted to a DO loop
+
+
+class TestBuiltinsUnderOptimization:
+    def test_sqrt_in_loop_not_vectorized_but_correct(self):
+        src = """
+        float a[32], b[32];
+        int main(void) {
+            int i;
+            for (i = 0; i < 32; i++)
+                a[i] = (float) sqrt((double) b[i]);
+            return 0;
+        }
+        """
+        result = compile_c(src)
+        # calls stay scalar loops
+        assert result.vectorize_stats["main"].rejected.get("call", 0) \
+            >= 1
+        assert_same_behaviour(
+            src, arrays={"b": [float(k * k) for k in range(32)]},
+            check_arrays=[("a", 32)])
+
+    def test_printf_order_preserved_across_optimization(self):
+        src = """
+        int main(void) {
+            int i;
+            for (i = 0; i < 3; i++)
+                printf("%d;", i * 10);
+            printf("done");
+            return 0;
+        }
+        """
+        assert_same_behaviour(src)
+
+    def test_malloc_pointer_survives_pipeline(self):
+        src = """
+        int main(void) {
+            float *buf;
+            int i, total;
+            buf = (float *) malloc(16 * sizeof(float));
+            for (i = 0; i < 16; i++)
+                buf[i] = i * 1.0f;
+            total = 0;
+            for (i = 0; i < 16; i++)
+                total = total + (int) buf[i];
+            return total;
+        }
+        """
+        from tests.helpers import run_optimized, run_reference
+        assert run_optimized(src).stdout == run_reference(src).stdout
+        # compare return value
+        ref = Interpreter(compile_to_il(src)).run("main")
+        opt = Interpreter(compile_c(src).program).run("main")
+        assert ref == opt == sum(range(16))
+
+
+class TestFeatureInteractions:
+    def test_inline_then_reduction(self):
+        # sdot inlined at a call site with named arrays becomes a
+        # vector reduction.
+        src = """
+        float a[200], w[200];
+        float result;
+        float sdot(float *x, float *y, int n) {
+            float sum;
+            int i;
+            sum = 0.0;
+            for (i = 0; i < n; i++)
+                sum = sum + x[i] * y[i];
+            return sum;
+        }
+        int main(void) {
+            result = sdot(a, w, 200);
+            return 0;
+        }
+        """
+        result = compile_c(src)
+        main_fn = result.program.functions["main"]
+        assert any(isinstance(s, N.VectorReduce)
+                   for s in main_fn.all_statements())
+        assert_same_behaviour(
+            src,
+            arrays={"a": [float(k % 5) for k in range(200)],
+                    "w": [0.25] * 200},
+            check_scalars=["result"])
+
+    def test_termination_split_then_reduction(self):
+        # A search-bounded sum: chase + vector reduction.
+        src = """
+        float data[300];
+        float total;
+        int main(void) {
+            int i;
+            float s;
+            i = 0;
+            s = 0.0f;
+            while (data[i] != 0.0f) {
+                s = s + data[i];
+                i = i + 1;
+            }
+            total = s;
+            return 0;
+        }
+        """
+        # termination split requires a Mem *store* as work; a pure
+        # reduction body has none, so this stays a while loop — but
+        # correctness must hold regardless.
+        assert_same_behaviour(
+            src, arrays={"data": [1.0] * 150 + [0.0] * 150},
+            check_scalars=["total"])
+
+    def test_inline_recursion_plus_vector_caller(self):
+        src = """
+        float a[64], b[64];
+        int fib(int n) {
+            if (n < 2) return n;
+            return fib(n-1) + fib(n-2);
+        }
+        int main(void) {
+            int i, k;
+            k = fib(10);
+            for (i = 0; i < 64; i++)
+                a[i] = b[i] + (float) k;
+            return k;
+        }
+        """
+        result = compile_c(src)
+        assert result.vectorize_stats["main"].loops_vectorized == 1
+        ref = Interpreter(compile_to_il(src))
+        ref.set_global_array("b", [1.0] * 64)
+        r1 = ref.run("main")
+        opt = Interpreter(result.program)
+        opt.set_global_array("b", [1.0] * 64)
+        r2 = opt.run("main")
+        assert r1 == r2 == 55
+
+    def test_struct_array_workload_vectorization_reported(self):
+        from repro.workloads.graphics import struct_array
+        result = compile_c(struct_array(64))
+        stats = result.vectorize_stats["shade"]
+        # strided struct-field accesses: vectorized with stride > 1 or
+        # at minimum handled correctly; assert the compiler made a
+        # decision without crashing and semantics hold elsewhere
+        assert stats.loops_examined >= 1
+
+    def test_volatile_blocks_everything_but_runs(self):
+        src = """
+        volatile int tick;
+        float a[16];
+        int main(void) {
+            int i;
+            for (i = 0; i < 16; i++) {
+                a[i] = (float) tick;
+            }
+            return 0;
+        }
+        """
+        program = compile_c(src).program
+        interp = Interpreter(program)
+        counter = iter(range(100))
+        interp.add_device("tick", on_read=lambda: next(counter))
+        interp.run("main")
+        # every iteration re-read the device (no hoisting)
+        assert interp.global_array("a", 16) == [float(k)
+                                                for k in range(16)]

@@ -1,0 +1,256 @@
+"""Tests for linked-list parallelization (section 10 future work)."""
+
+import pytest
+
+from repro.frontend.lower import compile_to_il
+from repro.il import nodes as N
+from repro.il.validate import validate_program
+from repro.interp.interpreter import Interpreter
+from repro.pipeline import CompilerOptions, compile_c
+
+OPTS = CompilerOptions(parallelize_lists=True)
+
+POOL_PRELUDE = """
+struct node { float value; float squared; struct node *next; };
+struct node pool[48];
+void build(int n) {
+    int i;
+    for (i = 0; i < n - 1; i++) {
+        pool[i].value = i * 0.5f;
+        pool[i].next = &pool[i+1];
+    }
+    pool[n-1].value = (n-1) * 0.5f;
+    pool[n-1].next = 0;
+}
+"""
+
+
+def list_loops(fn):
+    return [s for s in fn.all_statements()
+            if isinstance(s, N.ListParallelLoop)]
+
+
+def compile_work(work_src, options=OPTS):
+    result = compile_c(POOL_PRELUDE + work_src, options)
+    validate_program(result.program)
+    return result
+
+
+class TestRecognition:
+    def test_canonical_traversal_converts(self):
+        result = compile_work("""
+        void work(struct node *head) {
+            struct node *p;
+            for (p = head; p; p = p->next)
+                p->squared = p->value * 2.0f;
+        }
+        """)
+        assert list_loops(result.program.functions["work"])
+
+    def test_while_style_traversal_converts(self):
+        result = compile_work("""
+        void work(struct node *head) {
+            struct node *p;
+            p = head;
+            while (p) {
+                p->squared = p->value;
+                p = p->next;
+            }
+        }
+        """)
+        assert list_loops(result.program.functions["work"])
+
+    def test_private_scalar_allowed(self):
+        result = compile_work("""
+        void work(struct node *head) {
+            struct node *p;
+            float v;
+            for (p = head; p; p = p->next) {
+                v = p->value + 1.0f;
+                p->squared = v * v;
+            }
+        }
+        """)
+        assert list_loops(result.program.functions["work"])
+
+    def test_disabled_by_default(self):
+        result = compile_work("""
+        void work(struct node *head) {
+            struct node *p;
+            for (p = head; p; p = p->next)
+                p->squared = p->value;
+        }
+        """, options=CompilerOptions())
+        assert not list_loops(result.program.functions["work"])
+
+
+class TestRejections:
+    def test_shared_accumulator_rejected(self):
+        result = compile_work("""
+        float total;
+        void work(struct node *head) {
+            struct node *p;
+            for (p = head; p; p = p->next)
+                total = total + p->value;
+        }
+        """)
+        fn = result.program.functions["work"]
+        assert not list_loops(fn)
+        stats = result.listparallel_stats["work"]
+        assert stats.rejected.get("shared-scalar", 0) >= 1
+
+    def test_link_mutation_rejected(self):
+        # Writing the link field would corrupt the serial chase.
+        result = compile_work("""
+        void work(struct node *head) {
+            struct node *p;
+            for (p = head; p; p = p->next)
+                p->next = 0;
+        }
+        """)
+        fn = result.program.functions["work"]
+        assert not list_loops(fn)
+
+    def test_store_to_global_array_rejected(self):
+        result = compile_work("""
+        float out[48];
+        int k;
+        void work(struct node *head) {
+            struct node *p;
+            for (p = head; p; p = p->next)
+                out[0] = p->value;
+        }
+        """)
+        assert not list_loops(result.program.functions["work"])
+
+    def test_call_in_body_rejected(self):
+        result = compile_work("""
+        void log_value(float v);
+        void work(struct node *head) {
+            struct node *p;
+            for (p = head; p; p = p->next)
+                log_value(p->value);
+        }
+        """)
+        assert not list_loops(result.program.functions["work"])
+
+    def test_early_break_rejected(self):
+        result = compile_work("""
+        void work(struct node *head) {
+            struct node *p;
+            for (p = head; p; p = p->next) {
+                if (p->value < 0.0f)
+                    break;
+                p->squared = p->value;
+            }
+        }
+        """)
+        assert not list_loops(result.program.functions["work"])
+
+
+class TestSemantics:
+    SRC = POOL_PRELUDE + """
+    void work(struct node *head) {
+        struct node *p;
+        float v;
+        p = head;
+        while (p) {
+            v = p->value;
+            p->squared = v * v + 1.0f;
+            p = p->next;
+        }
+    }
+    int main(void) {
+        build(48);
+        work(pool);
+        return (int) pool[20].squared;
+    }
+    """
+
+    def test_matches_reference_in_all_orders(self):
+        ref = Interpreter(compile_to_il(self.SRC))
+        expected = ref.run("main")
+        result = compile_c(self.SRC, OPTS)
+        for order in ("forward", "reverse", "shuffle"):
+            interp = Interpreter(result.program, parallel_order=order,
+                                 seed=5)
+            assert interp.run("main") == expected
+
+    def test_struct_memory_identical(self):
+        from repro.frontend.ctypes_ import FLOAT
+        ref = Interpreter(compile_to_il(self.SRC))
+        ref.run("main")
+        result = compile_c(self.SRC, OPTS)
+        opt = Interpreter(result.program, parallel_order="shuffle",
+                          seed=11)
+        opt.run("main")
+        g_r = ref.program.global_named("pool")
+        g_o = result.program.global_named("pool")
+        size = g_r.sym.ctype.sizeof()
+        br = ref.memory.address_of(g_r.sym)
+        bo = opt.memory.address_of(g_o.sym)
+        assert ref.memory.data[br:br + size] == \
+            opt.memory.data[bo:bo + size]
+
+    def test_pointer_null_after_loop(self):
+        src = POOL_PRELUDE + """
+        int check(struct node *head) {
+            struct node *p;
+            p = head;
+            while (p) {
+                p->squared = 0.0f;
+                p = p->next;
+            }
+            return p == 0;
+        }
+        int main(void) { build(8); return check(pool); }
+        """
+        result = compile_c(src, OPTS)
+        assert Interpreter(result.program).run("main") == 1
+
+    def test_empty_list(self):
+        src = POOL_PRELUDE + """
+        int main(void) {
+            struct node *p;
+            int visits;
+            p = 0;
+            visits = 0;
+            while (p) {
+                p->squared = 1.0f;
+                p = p->next;
+            }
+            return visits;
+        }
+        """
+        result = compile_c(src, OPTS)
+        assert Interpreter(result.program).run("main") == 0
+
+
+class TestTiming:
+    def test_scales_with_processors(self):
+        from repro.titan.config import TitanConfig
+        from repro.titan.simulator import TitanSimulator
+        src = POOL_PRELUDE + """
+        void work(struct node *head) {
+            struct node *p;
+            float v;
+            p = head;
+            while (p) {
+                v = p->value;
+                v = v * v + 2.0f;
+                v = v * v + 3.0f;
+                v = v * v + 4.0f;
+                p->squared = v;
+                p = p->next;
+            }
+        }
+        int main(void) { build(48); work(pool); return 0; }
+        """
+        result = compile_c(src, OPTS)
+        times = {}
+        for procs in (1, 4):
+            sim = TitanSimulator(result.program,
+                                 TitanConfig(processors=procs),
+                                 schedules=result.schedules or None)
+            times[procs] = sim.run("main").seconds
+        assert times[4] < times[1]

@@ -1,0 +1,141 @@
+"""Outer-loop parallelization around vector statements — the §9
+`do parallel` + vector shape, with sections participating in
+dependence analysis via byte spans."""
+
+import pytest
+
+from repro.il import nodes as N
+from repro.pipeline import CompilerOptions, compile_c
+
+from tests.helpers import assert_same_behaviour
+
+ROW_AXPY = """
+float m[8][16], v[16];
+void row_axpy(float *row, float *y, float a, int n)
+{
+    int j;
+    for (j = 0; j < n; j++)
+        row[j] = row[j] + a * y[j];
+}
+int main(void)
+{
+    int i;
+    for (i = 0; i < 8; i++)
+        row_axpy(m[i], v, 2.0, 16);
+    return 0;
+}
+"""
+
+
+def outer_loops(result, name="main"):
+    return [s for s in result.program.functions[name].all_statements()
+            if isinstance(s, N.DoLoop) and not s.vector]
+
+
+class TestOuterParallel:
+    def test_independent_rows_go_parallel(self):
+        result = compile_c(ROW_AXPY)
+        loops = outer_loops(result)
+        assert loops and loops[0].parallel
+        # the body is a single vector statement
+        assert any(isinstance(s, N.VectorAssign)
+                   for s in loops[0].body)
+
+    def test_row_passing_semantics(self):
+        assert_same_behaviour(
+            ROW_AXPY,
+            arrays={"v": [float(k) for k in range(16)]},
+            check_arrays=[("v", 16)],
+            parallel_orders=("forward", "reverse", "shuffle"))
+
+    def test_overlapping_rows_stay_serial(self):
+        # Stride 8 bytes between 16-element rows: sections overlap
+        # across outer iterations, so the outer loop must NOT spread.
+        src = """
+        float buf[160];
+        int main(void)
+        {
+            int i, j;
+            for (i = 0; i < 8; i++) {
+                for (j = 0; j < 16; j++)
+                    buf[2*i + j] = buf[2*i + j] + 1.0f;
+            }
+            return 0;
+        }
+        """
+        result = compile_c(src)
+        loops = outer_loops(result)
+        assert loops and not loops[0].parallel
+        assert_same_behaviour(
+            src, arrays={"buf": [float(k % 7) for k in range(160)]},
+            check_arrays=[("buf", 160)])
+
+    def test_shared_output_row_stays_serial(self):
+        # Every outer iteration accumulates into the same row.
+        src = """
+        float acc[16], m[8][16];
+        int main(void)
+        {
+            int i, j;
+            for (i = 0; i < 8; i++) {
+                for (j = 0; j < 16; j++)
+                    acc[j] = acc[j] + m[i][j];
+            }
+            return 0;
+        }
+        """
+        result = compile_c(src)
+        loops = outer_loops(result)
+        assert loops and not loops[0].parallel
+        assert_same_behaviour(
+            src,
+            arrays={"acc": [0.0] * 16,
+                    "m": [[float(i + j) for j in range(16)]
+                          for i in range(8)]},
+            check_arrays=[("acc", 16)])
+
+    def test_disjoint_outputs_per_row_parallel(self):
+        src = """
+        float src_[8][16], dst[8][16];
+        int main(void)
+        {
+            int i, j;
+            for (i = 0; i < 8; i++) {
+                for (j = 0; j < 16; j++)
+                    dst[i][j] = 2.0f * src_[i][j];
+            }
+            return 0;
+        }
+        """
+        result = compile_c(src)
+        loops = outer_loops(result)
+        assert loops and loops[0].parallel
+        assert_same_behaviour(
+            src,
+            arrays={"src_": [[float(i * 16 + j) for j in range(16)]
+                             for i in range(8)]},
+            check_arrays=[("dst", 8)])
+
+    def test_section_span_analysis(self):
+        """Sections get byte-span extents in the dependence graph."""
+        from repro.dependence.refs import parse_section_ref
+        from repro.frontend.symtab import Symbol
+        from repro.frontend.ctypes_ import FLOAT, PointerType
+        a = Symbol(name="a", ctype=FLOAT, uid=1)
+        section = N.Section(
+            addr=N.AddrOf(sym=a, ctype=PointerType(base=FLOAT)),
+            length=N.int_const(16), stride=1, ctype=FLOAT)
+        ref = parse_section_ref(section, None, True, [], {a})
+        assert ref.elem_size == 64  # 16 floats
+
+    def test_unknown_length_section_blocks(self):
+        from repro.dependence.refs import parse_section_ref
+        from repro.frontend.symtab import Symbol
+        from repro.frontend.ctypes_ import FLOAT, PointerType
+        a = Symbol(name="a", ctype=FLOAT, uid=1)
+        n = Symbol(name="n", ctype=FLOAT, uid=2)
+        section = N.Section(
+            addr=N.AddrOf(sym=a, ctype=PointerType(base=FLOAT)),
+            length=N.VarRef(sym=n), stride=1, ctype=FLOAT)
+        ref = parse_section_ref(section, None, True, [], {a, n})
+        assert ref.base is None  # conservative: may alias anything

@@ -1,0 +1,178 @@
+"""End-to-end pipeline tests over the workload suites."""
+
+import pytest
+
+from repro.il import nodes as N
+from repro.il.validate import validate_program
+from repro.pipeline import (CompilerOptions, TitanCompiler, compile_c)
+from repro.workloads import blas, graphics, stencils
+
+from tests.helpers import assert_same_behaviour, run_optimized, \
+    run_reference
+
+
+class TestWorkloadCorrectness:
+    def test_blas_library_all_routines(self):
+        n = 48
+        src = blas.MATH_LIBRARY_C + f"""
+        float a[{n}], b[{n}], c[{n}];
+        float dot_result;
+        int main(void) {{
+            daxpy(a, b, c, 2.0, {n});
+            scopy(c, a, {n});
+            sscal(c, 0.5, {n});
+            dot_result = sdot(a, b, {n});
+            vadd(b, a, c, {n});
+            return 0;
+        }}
+        """
+        assert_same_behaviour(
+            src,
+            arrays={"b": [float(i % 5) for i in range(n)],
+                    "c": [1.0] * n},
+            check_arrays=[("a", n), ("b", n), ("c", n)],
+            check_scalars=["dot_result"])
+
+    def test_graphics_transform(self):
+        src = graphics.transform_points(n=64) + """
+        int main(void) { transform(64); return 0; }
+        """
+        mat = graphics.identity_matrix()
+        assert_same_behaviour(
+            src,
+            arrays={"mat": mat,
+                    "px": [float(i) for i in range(64)],
+                    "py": [float(-i) for i in range(64)],
+                    "pz": [0.5] * 64,
+                    "pw": [1.0] * 64},
+            check_arrays=[("ox", 64), ("oy", 64), ("oz", 64),
+                          ("ow", 64)])
+
+    def test_graphics_struct_arrays(self):
+        src = graphics.struct_array(n=32) + """
+        int main(void) { shade(32); return 0; }
+        """
+        ref = run_reference(src, scalars={"brightness": 2.0})
+        opt = run_optimized(src, scalars={"brightness": 2.0})
+        # compare raw struct memory
+        g_r = ref.program.global_named("verts")
+        g_o = opt.program.global_named("verts")
+        size = g_r.sym.ctype.sizeof()
+        base_r = ref.memory.address_of(g_r.sym)
+        base_o = opt.memory.address_of(g_o.sym)
+        assert ref.memory.data[base_r:base_r + size] == \
+            opt.memory.data[base_o:base_o + size]
+
+    def test_mat4_multiply(self):
+        src = graphics.MAT4_MULTIPLY_C + """
+        int main(void) { mat4mul(); return 0; }
+        """
+        assert_same_behaviour(
+            src,
+            arrays={"ma": [float(i) for i in range(16)],
+                    "mb": [float((i * 7) % 5) for i in range(16)]},
+            check_arrays=[("mc", 16)])
+
+    @pytest.mark.parametrize("kernel,entry,arrays", [
+        (stencils.prefix(128), "prefix",
+         {"acc": [1.0] * 128, "w": [1.01] * 128}),
+        (stencils.smooth(128), "smooth",
+         {"src": [float(i % 9) for i in range(128)],
+          "dst": [0.0] * 128}),
+        (stencils.smooth_inplace(128), "smooth_inplace",
+         {"buf": [float(i) for i in range(128)]}),
+    ], ids=["prefix", "smooth", "smooth_inplace"])
+    def test_stencils(self, kernel, entry, arrays):
+        src = kernel + f"""
+        int main(void) {{ {entry}(128); return 0; }}
+        """
+        names = [(name, 128) for name in arrays]
+        assert_same_behaviour(src, arrays=arrays, check_arrays=names)
+
+    def test_smooth_vectorizes_prefix_does_not(self):
+        smooth = compile_c(stencils.smooth(256))
+        prefix = compile_c(stencils.prefix(256))
+        assert smooth.vectorize_stats["smooth"].loops_vectorized == 1
+        assert prefix.vectorize_stats["prefix"].loops_vectorized == 0
+
+
+class TestOptionMatrix:
+    SRC = """
+    float a[96], b[96];
+    int out;
+    int main(void) {
+        int i;
+        for (i = 0; i < 96; i++)
+            a[i] = b[i] * 3.0f;
+        out = (int) a[95];
+        return out;
+    }
+    """
+
+    @pytest.mark.parametrize("options", [
+        CompilerOptions(),
+        CompilerOptions(inline=False),
+        CompilerOptions(vectorize=False),
+        CompilerOptions(parallelize=False),
+        CompilerOptions(scalar_opt=False),
+        CompilerOptions(reg_pipeline=False, strength_reduction=False),
+        CompilerOptions(inline=False, scalar_opt=False,
+                        vectorize=False, reg_pipeline=False,
+                        strength_reduction=False),
+        CompilerOptions(vector_length=8),
+        CompilerOptions(strict_while_conversion=True),
+        CompilerOptions(fortran_pointer_semantics=True),
+    ], ids=["full", "no-inline", "no-vec", "no-par", "no-scalar",
+            "no-depopt", "O0", "vl8", "strict-while", "fortran-ptr"])
+    def test_every_configuration_is_correct(self, options):
+        assert_same_behaviour(
+            self.SRC, arrays={"b": [float(i) for i in range(96)]},
+            check_arrays=[("a", 96)], check_scalars=["out"],
+            options=options)
+
+    def test_parallelize_off_emits_no_parallel_loops(self):
+        result = compile_c(self.SRC, CompilerOptions(parallelize=False))
+        assert not any(isinstance(s, N.DoLoop) and s.parallel
+                       for fn in result.program.functions.values()
+                       for s in fn.all_statements())
+
+    def test_vector_length_option_respected(self):
+        result = compile_c(self.SRC, CompilerOptions(vector_length=8))
+        strips = [s for fn in result.program.functions.values()
+                  for s in fn.all_statements()
+                  if isinstance(s, N.DoLoop) and s.vector]
+        assert strips and strips[0].step == 8
+
+
+class TestStageDumps:
+    def test_stages_recorded_in_order(self):
+        compiler = TitanCompiler(CompilerOptions(dump_stages=True))
+        result = compiler.compile(
+            "float a[8]; void f(void) { a[0] = 1.0f; }")
+        names = [d.stage for d in result.stages]
+        assert names == ["front-end", "inline", "scalar-opt",
+                         "vectorize", "dependence-opt", "final"]
+
+    def test_no_dumps_by_default(self):
+        result = compile_c("void f(void) { }")
+        assert result.stages == []
+
+    def test_stage_text_lookup_raises_on_unknown(self):
+        result = compile_c("void f(void) { }")
+        with pytest.raises(KeyError):
+            result.stage_text("nonexistent")
+
+
+class TestValidationAfterEveryConfig:
+    @pytest.mark.parametrize("source", [
+        blas.MATH_LIBRARY_C,
+        stencils.backsolve(64),
+        stencils.prefix(64),
+        graphics.transform_points(32),
+        graphics.MAT4_MULTIPLY_C,
+        graphics.struct_array(16),
+    ], ids=["blas", "backsolve", "prefix", "transform", "mat4",
+            "structs"])
+    def test_compiled_programs_validate(self, source):
+        result = compile_c(source)
+        validate_program(result.program)

@@ -1,0 +1,158 @@
+"""Unit tests for the preprocessor."""
+
+import pytest
+
+from repro.frontend.preprocessor import (Preprocessor, PreprocessorError,
+                                         preprocess)
+
+
+class TestObjectMacros:
+    def test_simple_define(self):
+        assert "100" in preprocess("#define N 100\nint a[N];")
+
+    def test_define_used_twice(self):
+        out = preprocess("#define N 4\nint a[N], b[N];")
+        assert out.count("4") == 2
+
+    def test_undef(self):
+        out = preprocess("#define N 1\n#undef N\nint N;")
+        assert "int N" in out
+
+    def test_nested_expansion(self):
+        out = preprocess("#define A B\n#define B 7\nint x = A;")
+        assert "7" in out
+
+    def test_self_reference_does_not_loop(self):
+        out = preprocess("#define X X\nint X;")
+        assert "int X" in out
+
+    def test_macro_not_expanded_in_string(self):
+        out = preprocess('#define N 9\nchar *s = "N";')
+        assert '"N"' in out
+
+    def test_macro_name_must_match_whole_identifier(self):
+        out = preprocess("#define N 9\nint NN;")
+        assert "NN" in out
+
+    def test_predefines_constructor_arg(self):
+        pp = Preprocessor(defines={"TITAN": "1"})
+        out = pp.preprocess("#ifdef TITAN\nint t;\n#endif")
+        assert "int t" in out
+
+
+class TestFunctionMacros:
+    def test_simple_call(self):
+        out = preprocess("#define SQ(x) ((x)*(x))\nint y = SQ(3);")
+        assert "((3)*(3))" in out
+
+    def test_two_args(self):
+        out = preprocess("#define ADD(a,b) (a+b)\nint y = ADD(1, 2);")
+        assert "(1+2)" in out
+
+    def test_nested_parens_in_arg(self):
+        out = preprocess("#define ID(x) x\nint y = ID(f(1,2));")
+        assert "f(1,2)" in out
+
+    def test_name_without_parens_not_expanded(self):
+        out = preprocess("#define F(x) x\nint F;")
+        assert "int F" in out
+
+    def test_wrong_arity_raises(self):
+        with pytest.raises(PreprocessorError):
+            preprocess("#define F(a,b) a\nint y = F(1);")
+
+    def test_arguments_are_pre_expanded(self):
+        out = preprocess(
+            "#define N 5\n#define ID(x) x\nint y = ID(N);")
+        assert "5" in out
+
+
+class TestConditionals:
+    def test_ifdef_taken(self):
+        out = preprocess("#define X 1\n#ifdef X\nint a;\n#endif")
+        assert "int a" in out
+
+    def test_ifdef_not_taken(self):
+        out = preprocess("#ifdef X\nint a;\n#endif")
+        assert "int a" not in out
+
+    def test_ifndef(self):
+        out = preprocess("#ifndef X\nint a;\n#endif")
+        assert "int a" in out
+
+    def test_else(self):
+        out = preprocess("#ifdef X\nint a;\n#else\nint b;\n#endif")
+        assert "int b" in out and "int a" not in out
+
+    def test_elif_chain(self):
+        src = ("#define V 2\n#if V == 1\nint a;\n#elif V == 2\n"
+               "int b;\n#else\nint c;\n#endif")
+        out = preprocess(src)
+        assert "int b" in out and "int a" not in out \
+            and "int c" not in out
+
+    def test_if_defined(self):
+        out = preprocess("#define A 1\n#if defined(A)\nint x;\n#endif")
+        assert "int x" in out
+
+    def test_nested_conditionals(self):
+        src = ("#define A 1\n#ifdef A\n#ifdef B\nint ab;\n#else\n"
+               "int a_only;\n#endif\n#endif")
+        out = preprocess(src)
+        assert "int a_only" in out and "int ab" not in out
+
+    def test_unterminated_if_raises(self):
+        with pytest.raises(PreprocessorError):
+            preprocess("#ifdef A\nint x;")
+
+    def test_stray_endif_raises(self):
+        with pytest.raises(PreprocessorError):
+            preprocess("#endif")
+
+    def test_arithmetic_condition(self):
+        out = preprocess("#if 2 * 3 > 5\nint yes;\n#endif")
+        assert "int yes" in out
+
+
+class TestIncludes:
+    def test_include_from_header_map(self):
+        out = preprocess('#include "lib.h"\nint y;',
+                         headers={"lib.h": "int from_header;"})
+        assert "int from_header" in out and "int y" in out
+
+    def test_angle_include(self):
+        out = preprocess("#include <std.h>",
+                         headers={"std.h": "int s;"})
+        assert "int s" in out
+
+    def test_include_defines_visible_after(self):
+        out = preprocess('#include "n.h"\nint a[N];',
+                         headers={"n.h": "#define N 12"})
+        assert "a[12]" in out
+
+    def test_missing_include_raises(self):
+        with pytest.raises(PreprocessorError):
+            preprocess('#include "nope.h"')
+
+    def test_include_cycle_detected(self):
+        headers = {"a.h": '#include "b.h"', "b.h": '#include "a.h"'}
+        with pytest.raises(PreprocessorError):
+            preprocess('#include "a.h"', headers=headers)
+
+
+class TestMisc:
+    def test_pragma_passes_through(self):
+        out = preprocess("#pragma safe\nint x;")
+        assert "#pragma safe" in out
+
+    def test_error_directive_raises(self):
+        with pytest.raises(PreprocessorError):
+            preprocess("#error no titan here")
+
+    def test_line_continuation(self):
+        out = preprocess("#define LONG 1 + \\\n 2\nint x = LONG;")
+        assert "1 + 2" in " ".join(out.split())
+
+    def test_unknown_directive_raises(self):
+        with pytest.raises(PreprocessorError):
+            preprocess("#frobnicate")

@@ -1,0 +1,270 @@
+"""Property-based tests (hypothesis).
+
+The central invariant: for randomly generated C programs, the fully
+optimized program computes exactly what the unoptimized one does, in
+every parallel iteration order.  Plus algebraic properties of the
+folder and the dependence tests.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.frontend.ctypes_ import INT
+from repro.frontend.lower import compile_to_il
+from repro.il import nodes as N
+from repro.interp.interpreter import Interpreter
+from repro.opt.fold import simplify
+from repro.pipeline import CompilerOptions, compile_c
+
+SIZE = 24  # global array length in generated programs
+
+# ---------------------------------------------------------------------------
+# Random C program generation
+# ---------------------------------------------------------------------------
+
+ARRAYS = ["A", "B", "C"]
+INT_SCALARS = ["gi", "gj"]
+FLT_SCALARS = ["gf", "gg"]
+
+
+def _subscript(draw):
+    """An in-range affine subscript of the loop variable i in [0,SIZE)."""
+    form = draw(st.sampled_from(["i", "i+1", "i-1", "2*i", "k"]))
+    if form == "k":
+        return str(draw(st.integers(0, SIZE - 1))), "const"
+    return form, form
+
+
+def _bounds_for(forms):
+    """Loop bounds keeping every used subscript form in range."""
+    lo, hi = 0, SIZE  # i in [lo, hi)
+    for form in forms:
+        if form == "i+1":
+            hi = min(hi, SIZE - 1)
+        elif form == "i-1":
+            lo = max(lo, 1)
+        elif form == "2*i":
+            hi = min(hi, SIZE // 2)
+    return lo, hi
+
+
+@st.composite
+def flt_expr(draw, depth=0):
+    if depth >= 2 or draw(st.booleans()):
+        choice = draw(st.integers(0, 3))
+        if choice == 0:
+            sub, form = _subscript(draw)
+            arr = draw(st.sampled_from(ARRAYS))
+            return f"{arr}[{sub}]", [form]
+        if choice == 1:
+            return draw(st.sampled_from(FLT_SCALARS)), []
+        if choice == 2:
+            return f"{draw(st.integers(-3, 3))}.0f", []
+        return "(float) i", []
+    op = draw(st.sampled_from(["+", "-", "*"]))
+    left, lf = draw(flt_expr(depth + 1))
+    right, rf = draw(flt_expr(depth + 1))
+    return f"({left} {op} {right})", lf + rf
+
+
+@st.composite
+def loop_block(draw):
+    n_stmts = draw(st.integers(1, 3))
+    stmts = []
+    forms = []
+    use_temp = draw(st.booleans())
+    if use_temp:
+        # Cross-statement scalar flow inside the body: the loop
+        # distributor must never split a t-def from its t-uses.
+        value, vforms = draw(flt_expr())
+        stmts.append(f"        t = {value};")
+        forms.extend(vforms)
+    for k in range(n_stmts):
+        target_sub, tform = _subscript(draw)
+        target = draw(st.sampled_from(ARRAYS))
+        value, vforms = draw(flt_expr())
+        if use_temp and draw(st.booleans()):
+            value = f"(t + {value})"
+        stmts.append(f"        {target}[{target_sub}] = {value};")
+        forms.extend([tform] + vforms)
+    if draw(st.booleans()):
+        # An accumulation: exercises vector-reduction recognition.
+        arr = draw(st.sampled_from(ARRAYS))
+        sub, form = _subscript(draw)
+        stmts.append(f"        gf = gf + {arr}[{sub}];")
+        forms.append(form)
+    lo, hi = _bounds_for(forms)
+    if lo >= hi:
+        lo, hi = 0, 1
+    body = "\n".join(stmts)
+    return (f"    for (i = {lo}; i < {hi}; i++) {{\n{body}\n    }}")
+
+
+@st.composite
+def pointer_block(draw):
+    src = draw(st.sampled_from(ARRAYS))
+    dst = draw(st.sampled_from([a for a in ARRAYS if a != src]))
+    k = draw(st.integers(-2, 2))
+    return (f"    p = {dst}; q = {src}; n = {SIZE};\n"
+            f"    while (n) {{ *p++ = *q++ + {k}.0f; n--; }}")
+
+
+@st.composite
+def scalar_block(draw):
+    target = draw(st.sampled_from(INT_SCALARS))
+    value = draw(st.integers(-10, 10))
+    op = draw(st.sampled_from(["=", "+="]))
+    return f"    {target} {op} {value};"
+
+
+@st.composite
+def if_block(draw):
+    scalar = draw(st.sampled_from(INT_SCALARS))
+    inner = draw(scalar_block())
+    return f"    if ({scalar} > 0) {{\n    {inner}\n    }}"
+
+
+@st.composite
+def random_program(draw):
+    blocks = draw(st.lists(st.one_of(loop_block(), pointer_block(),
+                                     scalar_block(), if_block()),
+                           min_size=1, max_size=4))
+    body = "\n".join(blocks)
+    return f"""
+float A[{SIZE}], B[{SIZE}], C[{SIZE}];
+int gi, gj;
+float gf, gg;
+int main(void)
+{{
+    int i, n;
+    float *p, *q;
+    float t;
+    t = 0.0f;
+{body}
+    return gi + gj;
+}}
+"""
+
+
+def _init_data():
+    return {
+        "A": [float((i * 3) % 7) for i in range(SIZE)],
+        "B": [float((i * 5) % 11) - 4 for i in range(SIZE)],
+        "C": [float(i) / 2 for i in range(SIZE)],
+    }
+
+
+def _snapshot(interp):
+    state = {name: interp.global_array(name, SIZE) for name in ARRAYS}
+    for name in INT_SCALARS + FLT_SCALARS:
+        state[name] = interp.global_scalar(name)
+    return state
+
+
+class TestOptimizationPreservesSemantics:
+    @settings(max_examples=120, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow,
+                                     HealthCheck.data_too_large])
+    @given(source=random_program(), order=st.sampled_from(
+        ["forward", "reverse", "shuffle"]))
+    def test_full_pipeline_vs_reference(self, source, order):
+        ref_prog = compile_to_il(source)
+        ref = Interpreter(ref_prog)
+        for name, values in _init_data().items():
+            ref.set_global_array(name, values)
+        for name in INT_SCALARS:
+            ref.set_global_scalar(name, 1)
+        for name in FLT_SCALARS:
+            ref.set_global_scalar(name, 1.5)
+        ref_result = ref.run("main")
+        expected = _snapshot(ref)
+
+        opt_result_prog = compile_c(source).program
+        opt = Interpreter(opt_result_prog, parallel_order=order,
+                          seed=99)
+        for name, values in _init_data().items():
+            opt.set_global_array(name, values)
+        for name in INT_SCALARS:
+            opt.set_global_scalar(name, 1)
+        for name in FLT_SCALARS:
+            opt.set_global_scalar(name, 1.5)
+        opt_result = opt.run("main")
+        got = _snapshot(opt)
+
+        assert opt_result == ref_result
+        for key, value in expected.items():
+            assert got[key] == pytest.approx(value, rel=1e-5,
+                                             abs=1e-5), key
+
+
+# ---------------------------------------------------------------------------
+# Folding properties
+# ---------------------------------------------------------------------------
+
+_INT_OPS = ["+", "-", "*", "/", "%", "&", "|", "^", "<", ">", "=="]
+
+
+@st.composite
+def const_int_tree(draw, depth=0):
+    if depth >= 3 or draw(st.booleans()):
+        return N.Const(value=draw(st.integers(-100, 100)), ctype=INT)
+    op = draw(st.sampled_from(_INT_OPS))
+    return N.BinOp(op=op, left=draw(const_int_tree(depth + 1)),
+                   right=draw(const_int_tree(depth + 1)), ctype=INT)
+
+
+def _eval_c(expr):
+    """Reference evaluation with C int semantics (None on UB)."""
+    if isinstance(expr, N.Const):
+        return expr.value
+    left = _eval_c(expr.left)
+    right = _eval_c(expr.right)
+    if left is None or right is None:
+        return None
+    from repro.opt.fold import fold_binop
+    return fold_binop(expr.op, left, right, INT)
+
+
+class TestFoldProperties:
+    @settings(max_examples=300, deadline=None)
+    @given(expr=const_int_tree())
+    def test_simplify_agrees_with_reference_semantics(self, expr):
+        expected = _eval_c(expr)
+        simplified = simplify(expr)
+        if expected is None:
+            return  # division by zero somewhere: folding may decline
+        assert isinstance(simplified, N.Const)
+        assert simplified.value == expected
+
+    @settings(max_examples=200, deadline=None)
+    @given(expr=const_int_tree())
+    def test_simplify_idempotent(self, expr):
+        once = simplify(expr)
+        twice = simplify(once)
+        assert N.expr_equal(once, twice)
+
+
+# ---------------------------------------------------------------------------
+# Lexer/parser robustness
+# ---------------------------------------------------------------------------
+
+
+class TestFrontEndRobustness:
+    @settings(max_examples=200, deadline=None)
+    @given(text=st.text(alphabet=st.characters(min_codepoint=32,
+                                               max_codepoint=126),
+                        max_size=60))
+    def test_frontend_never_crashes_unexpectedly(self, text):
+        """Arbitrary input produces a clean diagnostic, never an
+        internal error."""
+        from repro.frontend.lexer import LexError
+        from repro.frontend.parser import ParseError
+        from repro.frontend.lower import LoweringError
+        from repro.frontend.preprocessor import PreprocessorError
+        from repro.frontend.symtab import SymbolError
+        from repro.frontend.ctypes_ import TypeError_
+        try:
+            compile_to_il(text)
+        except (LexError, ParseError, LoweringError,
+                PreprocessorError, SymbolError, TypeError_):
+            pass

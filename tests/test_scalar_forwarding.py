@@ -1,0 +1,163 @@
+"""Tests for scalar forwarding in the vectorizer (the practical form
+of Allen–Kennedy scalar expansion)."""
+
+import pytest
+
+from repro.il import nodes as N
+from repro.pipeline import CompilerOptions, compile_c
+
+from tests.helpers import assert_same_behaviour
+
+
+def vectorized(result, name="f"):
+    return result.vectorize_stats[name].loops_vectorized
+
+
+class TestForwarding:
+    def test_single_temp_forwarded(self):
+        src = """
+        float a[128], b[128];
+        void f(void) {
+            int i;
+            float t;
+            for (i = 0; i < 128; i++) {
+                t = b[i] * 2.0f;
+                a[i] = t + 1.0f;
+            }
+        }
+        """
+        result = compile_c(src)
+        assert vectorized(result) == 1
+        assert result.vectorize_stats["f"].scalars_forwarded == 1
+
+    def test_chain_of_temps(self):
+        src = """
+        float a[64], b[64];
+        void f(void) {
+            int i;
+            float t, u;
+            for (i = 0; i < 64; i++) {
+                t = b[i] + 1.0f;
+                u = t * t;
+                a[i] = u - 2.0f;
+            }
+        }
+        """
+        result = compile_c(src)
+        assert vectorized(result) == 1
+
+    def test_temp_used_twice(self):
+        src = """
+        float a[64], b[64], c[64];
+        void f(void) {
+            int i;
+            float t;
+            for (i = 0; i < 64; i++) {
+                t = b[i] * 0.5f;
+                a[i] = t + 1.0f;
+                c[i] = t - 1.0f;
+            }
+        }
+        """
+        result = compile_c(src)
+        assert vectorized(result) == 1
+        assert_same_behaviour(
+            src + "int main(void) { f(); return 0; }",
+            arrays={"b": [float(k) for k in range(64)]},
+            check_arrays=[("a", 64), ("c", 64)])
+
+    def test_intervening_aliasing_store_blocks(self):
+        # The store to a[] may hit b[i] (same array via different
+        # offsets? here same array forces the conservative answer).
+        src = """
+        float a[64];
+        void f(void) {
+            int i;
+            float t;
+            for (i = 0; i < 63; i++) {
+                t = a[i + 1];
+                a[i + 1] = 0.0f;
+                a[i] = t;
+            }
+        }
+        """
+        result = compile_c(src)
+        # correctness is what matters; run both ways
+        assert_same_behaviour(
+            src + "int main(void) { f(); return 0; }",
+            arrays={"a": [float(k) for k in range(64)]},
+            check_arrays=[("a", 64)])
+
+    def test_disjoint_intervening_store_allows(self):
+        src = """
+        float a[64], b[64], c[64];
+        void f(void) {
+            int i;
+            float t;
+            for (i = 0; i < 64; i++) {
+                t = b[i];
+                c[i] = 5.0f;
+                a[i] = t;
+            }
+        }
+        """
+        result = compile_c(src)
+        assert vectorized(result) == 1
+
+    def test_temp_live_after_loop_not_forwarded(self):
+        src = """
+        float a[64], b[64];
+        float last;
+        void f(void) {
+            int i;
+            float t;
+            t = 0.0f;
+            for (i = 0; i < 64; i++) {
+                t = b[i];
+                a[i] = t;
+            }
+            last = t;
+        }
+        """
+        result = compile_c(src)
+        assert_same_behaviour(
+            src + "int main(void) { f(); return 0; }",
+            arrays={"b": [float(k) for k in range(64)]},
+            check_arrays=[("a", 64)], check_scalars=["last"])
+
+    def test_carried_scalar_not_forwarded(self):
+        # t carries a value across iterations: real recurrence.
+        src = """
+        float a[64], b[64];
+        void f(void) {
+            int i;
+            float t;
+            t = 1.0f;
+            for (i = 0; i < 64; i++) {
+                a[i] = t;
+                t = b[i];
+            }
+        }
+        """
+        result = compile_c(src)
+        assert vectorized(result) == 0
+        assert_same_behaviour(
+            src + "int main(void) { f(); return 0; }",
+            arrays={"b": [float(k + 2) for k in range(64)]},
+            check_arrays=[("a", 64)])
+
+    def test_volatile_temp_not_forwarded(self):
+        src = """
+        volatile float port;
+        float a[64];
+        void f(void) {
+            int i;
+            float t;
+            for (i = 0; i < 64; i++) {
+                t = port;
+                a[i] = t;
+            }
+        }
+        """
+        result = compile_c(src)
+        assert vectorized(result) == 0

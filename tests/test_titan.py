@@ -1,0 +1,211 @@
+"""Unit tests for the Titan machine model and simulator."""
+
+import pytest
+
+from repro.pipeline import CompilerOptions, compile_c
+from repro.titan.config import TitanConfig
+from repro.titan.cost_model import TitanCostModel
+from repro.titan.simulator import TitanSimulator, simulate
+from repro.workloads import blas
+
+
+class TestCostModel:
+    def test_scalar_ops_charge_latency(self):
+        cfg = TitanConfig()
+        model = TitanCostModel(cfg)
+        model("flop", "+")
+        model("intop", "+")
+        model("load", None)
+        model("store", None)
+        model("branch")
+        expected = (cfg.fp_latency + cfg.int_latency + cfg.load_latency
+                    + cfg.store_latency + cfg.branch_cycles)
+        assert model.cycles == expected
+        assert model.counters.flops == 1
+
+    def test_vector_instruction_startup_plus_elements(self):
+        cfg = TitanConfig()
+        model = TitanCostModel(cfg)
+        model("vector", "+", 32, 1)
+        assert model.cycles == cfg.vector_startup + 32
+        assert model.counters.flops == 32
+
+    def test_vector_stride_penalty(self):
+        cfg = TitanConfig()
+        unit = TitanCostModel(cfg)
+        unit("vector", "load", 32, 1)
+        strided = TitanCostModel(cfg)
+        strided("vector", "load", 32, 4)
+        assert strided.cycles > unit.cycles
+
+    def test_vector_int_op_not_counted_as_flop(self):
+        model = TitanCostModel(TitanConfig())
+        model("vector", "int_op", 32, 1)
+        assert model.counters.flops == 0
+
+    def test_parallel_region_divides_cycles(self):
+        cfg = TitanConfig(processors=4, parallel_efficiency=1.0,
+                          parallel_startup=0)
+        model = TitanCostModel(cfg)
+        model("parallel_begin", 1)
+        for _ in range(100):
+            model("flop", "*")
+        model("parallel_end", 1, 100)
+        assert model.cycles == pytest.approx(100 * cfg.fp_latency / 4)
+
+    def test_parallel_startup_charged(self):
+        cfg = TitanConfig(processors=2, parallel_startup=500)
+        model = TitanCostModel(cfg)
+        model("parallel_begin", 7)
+        model("parallel_end", 7, 10)
+        assert model.cycles == 500
+
+    def test_parallel_capped_by_trip_count(self):
+        cfg = TitanConfig(processors=4, parallel_efficiency=1.0,
+                          parallel_startup=0)
+        model = TitanCostModel(cfg)
+        model("parallel_begin", 1)
+        model("flop", "*")
+        model("parallel_end", 1, 1)  # one trip: one worker
+        assert model.cycles == pytest.approx(cfg.fp_latency)
+
+    def test_scheduled_loop_charges_initiation_interval(self):
+        from repro.sched.scheduler import LoopSchedule, OpCounts
+        cfg = TitanConfig()
+        schedules = {99: LoopSchedule(loop_sid=99,
+                                      initiation_interval=16.0,
+                                      resource_bound=8.0,
+                                      recurrence_bound=16.0,
+                                      counts=OpCounts())}
+        model = TitanCostModel(cfg, schedules)
+        model("do_enter", 99)
+        for _ in range(10):
+            model("flop", "*")  # suppressed inside scheduled loop
+            model("do_iter", 99)
+        model("do_exit", 99)
+        assert model.cycles == pytest.approx(16.0 * 10
+                                             + cfg.branch_cycles)
+        assert model.counters.flops == 10
+
+    def test_mflops_computation(self):
+        cfg = TitanConfig(clock_mhz=16.0)
+        model = TitanCostModel(cfg)
+        for _ in range(16):
+            model("flop", "+")  # 16 flops, 16*8 cycles
+        assert model.mflops == pytest.approx(16.0 / 8, rel=1e-6)
+
+
+class TestSimulator:
+    def test_simple_program_report(self):
+        src = """
+        float a[64], b[64];
+        int main(void) {
+            int i;
+            for (i = 0; i < 64; i++) a[i] = b[i] + 1.0f;
+            return 0;
+        }
+        """
+        result = compile_c(src)
+        sim = TitanSimulator(result.program,
+                             schedules=result.schedules or None)
+        report = sim.run("main")
+        assert report.cycles > 0
+        assert report.counters.flops == 64
+        assert report.result == 0
+
+    def test_vector_beats_scalar(self):
+        src = """
+        float a[1024], b[1024], c[1024];
+        void f(void) {
+            int i;
+            for (i = 0; i < 1024; i++) a[i] = b[i] * c[i];
+        }
+        """
+        vec = compile_c(src)
+        scal = compile_c(src, CompilerOptions(vectorize=False,
+                                              reg_pipeline=False,
+                                              strength_reduction=False))
+        rv = TitanSimulator(vec.program,
+                            schedules=vec.schedules or None).run("f")
+        rs = TitanSimulator(scal.program, use_scheduler=False).run("f")
+        assert rv.speedup_over(rs) > 3
+
+    def test_more_processors_faster(self):
+        src = """
+        float a[4096], b[4096];
+        void f(void) {
+            int i;
+            for (i = 0; i < 4096; i++) a[i] = b[i] + 1.0f;
+        }
+        """
+        result = compile_c(src)
+        times = []
+        for procs in (1, 2, 4):
+            sim = TitanSimulator(result.program,
+                                 TitanConfig(processors=procs),
+                                 schedules=result.schedules or None)
+            times.append(sim.run("f").seconds)
+        assert times[0] > times[1] > times[2]
+
+    def test_report_stdout_captured(self):
+        src = 'int main(void) { printf("hello"); return 0; }'
+        report = simulate(compile_c(src).program)
+        assert report.stdout == "hello"
+
+    def test_simulation_matches_interpreter_results(self):
+        src = blas.caller_program(n=128)
+        result = compile_c(src)
+        sim = TitanSimulator(result.program,
+                             schedules=result.schedules or None)
+        sim.set_global_array("b", [1.0] * 128)
+        sim.set_global_array("c", [2.0] * 128)
+        sim.run("bench")
+        assert sim.global_array("a", 128) == [6.0] * 128
+
+    def test_e1_backsolve_calibration(self):
+        """The headline section 6 numbers: 0.5 → 1.9 MFLOPS."""
+        from repro.workloads.stencils import backsolve
+        src = backsolve(512)
+        scalar_opts = CompilerOptions(vectorize=False,
+                                      reg_pipeline=False,
+                                      strength_reduction=False)
+
+        def measure(opts, use_sched):
+            result = compile_c(src, opts)
+            sim = TitanSimulator(result.program,
+                                 use_scheduler=use_sched,
+                                 schedules=result.schedules or None)
+            sim.set_global_scalar("n", 512)
+            sim.set_global_array("x", [1.0] * 512)
+            sim.set_global_array("y", [i + 2.0 for i in range(512)])
+            sim.set_global_array("z", [0.5] * 512)
+            return sim.run("backsolve")
+
+        scalar = measure(scalar_opts, use_sched=False)
+        optimized = measure(CompilerOptions(), use_sched=True)
+        assert 0.35 <= scalar.mflops <= 0.65  # paper: 0.5
+        assert 1.6 <= optimized.mflops <= 2.3  # paper: 1.9
+        ratio = optimized.speedup_over(scalar)
+        assert 3.0 <= ratio <= 4.5  # paper: 3.8x
+
+    def test_e2_daxpy_calibration(self):
+        """Section 9: 12x on a two-processor Titan."""
+        src = blas.caller_program(n=2048)
+        o0 = CompilerOptions(inline=False, scalar_opt=False,
+                             vectorize=False, reg_pipeline=False,
+                             strength_reduction=False)
+
+        def measure(opts, use_sched):
+            result = compile_c(src, opts)
+            sim = TitanSimulator(result.program,
+                                 TitanConfig(processors=2),
+                                 use_scheduler=use_sched,
+                                 schedules=result.schedules or None)
+            sim.set_global_array("b", [1.0] * 2048)
+            sim.set_global_array("c", [2.0] * 2048)
+            return sim.run("bench")
+
+        scalar = measure(o0, use_sched=False)
+        optimized = measure(CompilerOptions(), use_sched=True)
+        speedup = optimized.speedup_over(scalar)
+        assert 8 <= speedup <= 16  # paper: 12x

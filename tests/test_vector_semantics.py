@@ -1,0 +1,153 @@
+"""Direct interpreter semantics of Sections, VectorAssign, and
+VectorReduce — the vector unit's contract."""
+
+import pytest
+
+from repro.frontend.ctypes_ import FLOAT, INT, PointerType
+from repro.frontend.symtab import Symbol, SymbolTable
+from repro.il import nodes as N
+from repro.interp.interpreter import Interpreter
+
+
+def make_program(body, n_elems=16):
+    """A program with one float array `a` and a function `f` whose body
+    is constructed directly in IL."""
+    table = SymbolTable()
+    a = table.declare("a", FLOAT)  # placeholder; storage via GlobalVar
+    from repro.frontend.ctypes_ import ArrayType
+    a.ctype = ArrayType(base=FLOAT, length=n_elems)
+    fn = N.ILFunction(name="f", params=[], ret_type=INT,
+                      body=body(a, table))
+    program = N.ILProgram(functions={"f": fn},
+                          globals=[N.GlobalVar(sym=a)], symtab=table)
+    return program
+
+
+def section(a, start_elem, length, stride=1):
+    addr = N.BinOp(op="+",
+                   left=N.AddrOf(sym=a, ctype=PointerType(base=FLOAT)),
+                   right=N.int_const(4 * start_elem),
+                   ctype=PointerType(base=FLOAT))
+    return N.Section(addr=addr, length=N.int_const(length),
+                     stride=stride, ctype=FLOAT)
+
+
+class TestVectorAssign:
+    def test_unit_stride_store(self):
+        def body(a, table):
+            return [N.VectorAssign(target=section(a, 0, 4),
+                                   value=N.Const(value=2.5,
+                                                 ctype=FLOAT))]
+        program = make_program(body)
+        interp = Interpreter(program)
+        interp.run("f")
+        assert interp.global_array("a", 5) == [2.5] * 4 + [0.0]
+
+    def test_strided_store(self):
+        def body(a, table):
+            return [N.VectorAssign(target=section(a, 0, 4, stride=2),
+                                   value=N.Const(value=1.0,
+                                                 ctype=FLOAT))]
+        program = make_program(body)
+        interp = Interpreter(program)
+        interp.run("f")
+        got = interp.global_array("a", 8)
+        assert got == [1.0, 0.0, 1.0, 0.0, 1.0, 0.0, 1.0, 0.0]
+
+    def test_negative_stride_read(self):
+        def body(a, table):
+            return [N.VectorAssign(target=section(a, 0, 4),
+                                   value=section(a, 7, 4, stride=-1))]
+        program = make_program(body)
+        interp = Interpreter(program)
+        interp.set_global_array("a", [float(k) for k in range(16)])
+        interp.run("f")
+        assert interp.global_array("a", 4) == [7.0, 6.0, 5.0, 4.0]
+
+    def test_reads_before_writes(self):
+        # a[0:4] = a[1:5]: overlapping shift must read everything first.
+        def body(a, table):
+            return [N.VectorAssign(target=section(a, 0, 4),
+                                   value=section(a, 1, 4))]
+        program = make_program(body)
+        interp = Interpreter(program)
+        interp.set_global_array("a", [float(k) for k in range(16)])
+        interp.run("f")
+        assert interp.global_array("a", 4) == [1.0, 2.0, 3.0, 4.0]
+
+    def test_zero_length_noop(self):
+        def body(a, table):
+            sec = section(a, 0, 1)
+            zero = N.Section(addr=sec.addr, length=N.int_const(0),
+                             stride=1, ctype=FLOAT)
+            return [N.VectorAssign(target=zero,
+                                   value=N.Const(value=9.0,
+                                                 ctype=FLOAT))]
+        program = make_program(body)
+        interp = Interpreter(program)
+        interp.run("f")
+        assert interp.global_array("a", 1) == [0.0]
+
+    def test_elementwise_binop(self):
+        def body(a, table):
+            value = N.BinOp(op="*", left=section(a, 0, 4),
+                            right=N.Const(value=3.0, ctype=FLOAT),
+                            ctype=FLOAT)
+            return [N.VectorAssign(target=section(a, 8, 4),
+                                   value=value)]
+        program = make_program(body)
+        interp = Interpreter(program)
+        interp.set_global_array("a", [float(k + 1) for k in range(16)])
+        interp.run("f")
+        assert interp.global_array("a", 12)[8:] == [3.0, 6.0, 9.0, 12.0]
+
+
+class TestVectorReduce:
+    def _reduce_program(self, op, init, values):
+        table = SymbolTable()
+        from repro.frontend.ctypes_ import ArrayType
+        a = table.declare("a", ArrayType(base=FLOAT, length=len(values)))
+        s = table.declare("s", FLOAT, "global")
+        red = N.VectorReduce(
+            target=N.VarRef(sym=s, ctype=FLOAT), op=op,
+            value=N.Section(addr=N.AddrOf(sym=a,
+                                          ctype=PointerType(base=FLOAT)),
+                            length=N.int_const(len(values)), stride=1,
+                            ctype=FLOAT),
+            length=N.int_const(len(values)))
+        fn = N.ILFunction(name="f", params=[], ret_type=INT, body=[red])
+        program = N.ILProgram(functions={"f": fn},
+                              globals=[N.GlobalVar(sym=a),
+                                       N.GlobalVar(sym=s, init=init)],
+                              symtab=table)
+        interp = Interpreter(program)
+        interp.set_global_array("a", values)
+        interp.run("f")
+        return interp.global_scalar("s")
+
+    def test_sum(self):
+        assert self._reduce_program("+", 10.0, [1.0, 2.0, 3.0]) == 16.0
+
+    def test_min(self):
+        assert self._reduce_program("min", 5.0,
+                                    [7.0, 3.0, 9.0]) == 3.0
+
+    def test_max(self):
+        assert self._reduce_program("max", 5.0,
+                                    [1.0, 8.0, 2.0]) == 8.0
+
+    def test_in_order_accumulation(self):
+        # Single-precision rounding depends on order; match the scalar
+        # left-to-right fold exactly.
+        import struct
+
+        def f32(x):
+            return struct.unpack("<f", struct.pack("<f", x))[0]
+
+        values = [0.1, 1e8, -1e8, 0.2]
+        expected = 0.0
+        for v in values:
+            expected = f32(expected + f32(v))
+        got = self._reduce_program("+", 0.0,
+                                   values)
+        assert got == pytest.approx(expected, abs=1e-6)

@@ -1,0 +1,210 @@
+"""Unit tests for while→DO conversion (section 5.2)."""
+
+import pytest
+
+from repro.frontend.lower import compile_to_il
+from repro.il import nodes as N
+from repro.il.validate import validate_program
+from repro.interp.interpreter import Interpreter
+from repro.opt.while_to_do import WhileToDo, convert_while_loops
+from repro.workloads.idioms import IDIOMS
+
+from tests.helpers import assert_same_behaviour
+
+
+def convert(src, name="f", strict=False):
+    program = compile_to_il(src)
+    fn = program.functions[name]
+    stats = convert_while_loops(fn, program.symtab, strict=strict)
+    validate_program(program)
+    return program, fn, stats
+
+
+def loops_of(fn, kind):
+    return [s for s in fn.all_statements() if isinstance(s, kind)]
+
+
+class TestConversionShapes:
+    def test_canonical_for_converts_normalized(self):
+        src = ("float a[64];"
+               "void f(int n) { int i;"
+               " for (i = 0; i < n; i++) a[i] = 0.0; }")
+        _, fn, stats = convert(src)
+        assert stats.converted == 1
+        (loop,) = loops_of(fn, N.DoLoop)
+        assert N.is_const(loop.lo, 0) and loop.step == 1
+
+    def test_daxpy_style_not_equal_zero(self):
+        src = ("void f(float *d, float *s, int n)"
+               "{ for (; n; n--) *d++ = *s++; }")
+        _, fn, stats = convert(src)
+        assert stats.converted == 1
+
+    def test_original_update_stays_in_body(self):
+        # The paper keeps `i = temp - s` inside the converted loop.
+        src = ("float a[64];"
+               "void f(int n) { int i;"
+               " for (i = 0; i < n; i++) a[i] = 0.0; }")
+        _, fn, _ = convert(src)
+        (loop,) = loops_of(fn, N.DoLoop)
+        i_updates = [s for s in loop.body if isinstance(s, N.Assign)
+                     and isinstance(s.target, N.VarRef)
+                     and s.target.sym.name == "i"]
+        assert i_updates
+
+    def test_trip_count_strided(self):
+        src = ("float a[64];"
+               "void f(void) { int i;"
+               " for (i = 0; i < 10; i += 3) a[i] = 1.0; }")
+        program, fn, stats = convert(src)
+        assert stats.converted == 1
+        from repro.opt.constprop import propagate_constants
+        propagate_constants(fn, program.globals)
+        (loop,) = loops_of(fn, N.DoLoop)
+        from repro.opt.fold import const_int_value
+        # ceil(10/3) = 4 trips -> hi = 3
+        assert const_int_value(loop.hi) == 3
+
+    def test_descending_loop(self):
+        src = ("float a[64];"
+               "void f(int n) { int i;"
+               " for (i = n - 1; i >= 0; i--) a[i] = 0.0; }")
+        _, _, stats = convert(src)
+        assert stats.converted == 1
+
+    def test_temp_chain_traced(self):
+        # The front end emits `temp = i; i = temp + 1`; the conversion
+        # must trace through the temp (section 5.2's "transitive
+        # transfer").
+        src = ("float a[8]; void f(int n)"
+               "{ int i; i = 0; while (i < n) { a[i] = 0.0; i++; } }")
+        _, _, stats = convert(src)
+        assert stats.converted == 1
+
+
+class TestRejections:
+    def test_volatile_condition_never_converts(self):
+        src = "volatile int s; void f(void) { while (!s) ; }"
+        _, _, stats = convert(src)
+        assert stats.converted == 0
+
+    def test_bound_modified_in_body(self):
+        src = ("float a[64]; void f(int n) { int i;"
+               " for (i = 0; i < n; i++) { a[i] = 0.0; n--; } }")
+        _, _, stats = convert(src)
+        assert stats.converted == 0
+
+    def test_goto_out_of_loop(self):
+        src = """
+        float a[64];
+        void f(int n) {
+            int i;
+            for (i = 0; i < n; i++) {
+                if (a[i] < 0.0) goto out;
+                a[i] = 1.0;
+            }
+        out:
+            ;
+        }
+        """
+        _, _, stats = convert(src)
+        assert stats.converted == 0
+        assert "irregular-flow" in stats.rejected
+
+    def test_wrong_direction_never_converts(self):
+        # i < n with negative step is zero-or-infinite; leave it alone.
+        src = ("float a[64]; void f(int n) { int i;"
+               " for (i = 0; i < n; i--) a[0] = 0.0; }")
+        _, _, stats = convert(src)
+        assert stats.converted == 0
+
+    def test_strict_mode_rejects_nonzero_neq(self):
+        src = ("void f(float *d, float *s, int n)"
+               "{ for (; n; n--) *d++ = *s++; }")
+        _, _, stats = convert(src, strict=True)
+        assert stats.converted == 0
+
+    def test_address_taken_variable_rejected(self):
+        src = ("void g(int *p); float a[64];"
+               "void f(int n) { int i; g(&i);"
+               " for (i = 0; i < n; i++) a[i] = 0.0; }")
+        _, _, stats = convert(src)
+        assert stats.converted == 0
+
+
+class TestIdiomSuite:
+    @pytest.mark.parametrize("idiom", IDIOMS, ids=lambda i: i.name)
+    def test_idiom_classification(self, idiom):
+        program = compile_to_il(idiom.source)
+        fn = program.functions["f"]
+        stats = convert_while_loops(fn, program.symtab)
+        assert (stats.converted > 0) == idiom.convertible, idiom.note
+
+
+class TestSemanticsPreserved:
+    def test_zero_trip_loop(self):
+        src = """
+        float a[8];
+        int count;
+        int main(void) {
+            int i;
+            count = 0;
+            for (i = 0; i < 0; i++) count = count + 1;
+            return count;
+        }
+        """
+        assert_same_behaviour(src, check_scalars=["count"])
+
+    def test_loop_variable_final_value(self):
+        src = """
+        int final;
+        int main(void) {
+            int i;
+            for (i = 0; i < 10; i += 3) ;
+            final = i;
+            return final;
+        }
+        """
+        assert_same_behaviour(src, check_scalars=["final"])
+
+    def test_countdown_final_value(self):
+        src = """
+        int final;
+        float a[32];
+        int main(void) {
+            int n;
+            n = 20;
+            while (n) { a[0] = n; n--; }
+            final = n;
+            return final;
+        }
+        """
+        assert_same_behaviour(src, check_scalars=["final"],
+                              check_arrays=[("a", 1)])
+
+    def test_nested_loop_conversion(self):
+        src = """
+        float m[6][6];
+        int main(void) {
+            int i, j;
+            for (i = 0; i < 6; i++)
+                for (j = 0; j < 6; j++)
+                    m[i][j] = i * 10 + j;
+            return 0;
+        }
+        """
+        assert_same_behaviour(src, check_arrays=[("m", 0)])
+        # flattened check via interpreter
+        from tests.helpers import run_reference, run_optimized
+        ref = run_reference(src)
+        opt = run_optimized(src)
+        # compare raw memory of m
+        g = ref.program.global_named("m")
+        count = 36
+        base_r = ref.memory.address_of(g.sym)
+        g2 = opt.program.global_named("m")
+        base_o = opt.memory.address_of(g2.sym)
+        from repro.frontend.ctypes_ import FLOAT
+        for k in range(count):
+            assert ref.memory.load(base_r + 4 * k, FLOAT) == \
+                opt.memory.load(base_o + 4 * k, FLOAT)

@@ -1,0 +1,42 @@
+"""Sanity tests over the workload suites themselves."""
+
+import pytest
+
+from repro.frontend.lower import compile_to_il
+from repro.il.validate import validate_program
+from repro.pipeline import compile_c
+from repro.workloads import blas, graphics, idioms, stencils
+
+
+class TestWorkloadsCompile:
+    @pytest.mark.parametrize("source", [
+        blas.DAXPY_C, blas.SCOPY_C, blas.SSCAL_C, blas.SDOT_C,
+        blas.SAXPY_INDEXED_C, blas.VADD_C, blas.MATH_LIBRARY_C,
+        blas.caller_program(64), blas.library_client(64),
+        graphics.transform_points(16), graphics.MAT4_MULTIPLY_C,
+        graphics.struct_array(8),
+        stencils.backsolve(32), stencils.prefix(32),
+        stencils.smooth(32), stencils.smooth_inplace(32),
+    ], ids=["daxpy", "scopy", "sscal", "sdot", "saxpy_i", "vadd",
+            "mathlib", "caller", "client", "transform", "mat4",
+            "structs", "backsolve", "prefix", "smooth", "inplace"])
+    def test_front_end_accepts(self, source):
+        program = compile_to_il(source)
+        validate_program(program)
+
+    @pytest.mark.parametrize("idiom", idioms.IDIOMS,
+                             ids=lambda i: i.name)
+    def test_every_idiom_survives_full_pipeline(self, idiom):
+        result = compile_c(idiom.source)
+        validate_program(result.program)
+
+    def test_idiom_suite_is_balanced(self):
+        convertible = idioms.convertible_count()
+        assert convertible >= 6
+        assert len(idioms.IDIOMS) - convertible >= 6
+
+    def test_identity_matrix_helper(self):
+        m = graphics.identity_matrix()
+        assert len(m) == 16
+        assert m[0] == m[5] == m[10] == m[15] == 1.0
+        assert sum(m) == 4.0
