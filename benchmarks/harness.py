@@ -28,20 +28,33 @@ def compile_and_simulate(source: str, entry: str,
                          config: Optional[TitanConfig] = None,
                          arrays: Optional[Dict[str, Sequence]] = None,
                          scalars: Optional[Dict[str, float]] = None,
-                         use_scheduler: Optional[bool] = None
-                         ) -> TitanReport:
+                         use_scheduler: Optional[bool] = None,
+                         profile: bool = False) -> TitanReport:
     result = compile_c(source, options)
     if use_scheduler is None:
         use_scheduler = options.reg_pipeline \
             or options.strength_reduction
     sim = TitanSimulator(result.program, config or TitanConfig(),
                          use_scheduler=use_scheduler,
-                         schedules=result.schedules or None)
+                         schedules=result.schedules or None,
+                         profile=profile)
     for name, values in (arrays or {}).items():
         sim.set_global_array(name, values)
     for name, value in (scalars or {}).items():
         sim.set_global_scalar(name, value)
     return sim.run(entry)
+
+
+def hottest_loop(report: TitanReport) -> str:
+    """Name the loop where the report spent most of its cycles, for
+    benchmark rows (empty string when not profiled or loop-free)."""
+    if report.profile is None:
+        return ""
+    hottest = report.profile.hottest()
+    if hottest is None or report.cycles <= 0:
+        return ""
+    share = 100.0 * hottest.cycles / report.cycles
+    return f"{hottest.label} ({share:.0f}% of cycles)"
 
 
 @dataclass
@@ -50,6 +63,8 @@ class Row:
     paper: str
     measured: str
     ok: bool = True
+    # Where the cycles went, from a profile=True run (optional).
+    hot: str = ""
 
 
 def print_table(title: str, rows: List[Row]) -> None:
@@ -58,5 +73,6 @@ def print_table(title: str, rows: List[Row]) -> None:
     print(f"{'':{width}s} {'paper':>18s} {'measured':>18s}")
     for row in rows:
         mark = "" if row.ok else "   <-- OUT OF SHAPE"
+        hot = f"   hot: {row.hot}" if row.hot else ""
         print(f"{row.label:{width}s} {row.paper:>18s} "
-              f"{row.measured:>18s}{mark}")
+              f"{row.measured:>18s}{mark}{hot}")

@@ -8,7 +8,7 @@ loop."
 """
 
 from harness import (FULL, Row, SCALAR_OPT_ONLY, compile_and_simulate,
-                     print_table)
+                     hottest_loop, print_table)
 from repro.workloads.stencils import backsolve
 
 N = 512
@@ -22,16 +22,18 @@ def _data():
     }
 
 
-def _measure(options, use_scheduler):
+def _measure(options, use_scheduler, profile=False):
     return compile_and_simulate(backsolve(N), "backsolve",
                                 options=options,
                                 arrays=_data(), scalars={"n": N},
-                                use_scheduler=use_scheduler)
+                                use_scheduler=use_scheduler,
+                                profile=profile)
 
 
 def test_e1_backsolve_mflops(benchmark):
     scalar = _measure(SCALAR_OPT_ONLY, use_scheduler=False)
-    optimized = benchmark(lambda: _measure(FULL, use_scheduler=True))
+    optimized = benchmark(lambda: _measure(FULL, use_scheduler=True,
+                                           profile=True))
     ratio = optimized.speedup_over(scalar)
 
     rows = [
@@ -40,11 +42,21 @@ def test_e1_backsolve_mflops(benchmark):
             0.35 <= scalar.mflops <= 0.65),
         Row("dependence-optimized MFLOPS", "1.9",
             f"{optimized.mflops:.2f}",
-            1.6 <= optimized.mflops <= 2.3),
+            1.6 <= optimized.mflops <= 2.3,
+            hot=hottest_loop(optimized)),
         Row("speedup", "3.8x", f"{ratio:.2f}x", 3.0 <= ratio <= 4.5),
     ]
     print_table("E1: section 6 backsolve loop", rows)
     assert all(r.ok for r in rows)
+    # Profiler attribution is exact: the recurrence loop dominates and
+    # per-loop cycles (plus straight-line code) sum to the report.
+    profile = optimized.profile
+    assert profile is not None
+    total = profile.toplevel_cycles + sum(l.cycles
+                                          for l in profile.loops)
+    assert abs(total - optimized.cycles) < 1e-6 * max(optimized.cycles,
+                                                      1.0)
+    assert profile.hottest().cycles > 0.9 * optimized.cycles
 
 
 def test_e1_optimized_is_recurrence_bound(benchmark):

@@ -9,6 +9,9 @@ Usage examples::
     titancc file.c --make-db lib.ildb     # build a procedure database
     titancc file.c --use-db lib.ildb      # inline from a database
     titancc file.c --processors 4 --run main
+    titancc file.c --remarks              # why did each loop (not) vectorize?
+    titancc file.c --trace-json t.json    # per-phase Chrome trace
+    titancc file.c --run main --profile   # hot-loop cycle attribution
 """
 
 from __future__ import annotations
@@ -65,6 +68,17 @@ def build_arg_parser() -> argparse.ArgumentParser:
                              "(repeatable)")
     parser.add_argument("--stats", action="store_true",
                         help="print per-pass statistics")
+    parser.add_argument("--remarks", action="store_true",
+                        help="print optimization remarks (what each "
+                             "pass did to each loop, and why loops "
+                             "were not vectorized) to stderr")
+    parser.add_argument("--trace-json", metavar="PATH",
+                        help="write per-phase wall times as Chrome "
+                             "trace-event JSON (load in "
+                             "chrome://tracing or Perfetto)")
+    parser.add_argument("--profile", action="store_true",
+                        help="with --run: attribute simulated cycles "
+                             "to the hottest loops and functions")
     return parser
 
 
@@ -86,7 +100,10 @@ def options_from_args(args: argparse.Namespace) -> CompilerOptions:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    args = build_arg_parser().parse_args(argv)
+    parser = build_arg_parser()
+    args = parser.parse_args(argv)
+    if args.profile and not args.run:
+        parser.error("--profile requires --run ENTRY")
     with open(args.source) as handle:
         source = handle.read()
 
@@ -102,12 +119,23 @@ def main(argv: Optional[List[str]] = None) -> int:
     database: Optional[InlineDatabase] = None
     if args.use_db:
         database = InlineDatabase()
+        origin = {}  # procedure name -> database path it came from
         for path in args.use_db:
             loaded = InlineDatabase.load(path)
+            for name in loaded.entries:
+                if name in origin:
+                    print(f"titancc: warning: procedure '{name}' in "
+                          f"{path} overrides the definition from "
+                          f"{origin[name]}", file=sys.stderr)
+                origin[name] = path
             database.entries.update(loaded.entries)
 
     compiler = TitanCompiler(options_from_args(args), database)
     result = compiler.compile(source, args.source)
+
+    if args.remarks:
+        for remark in result.remarks:
+            print(remark.format(), file=sys.stderr)
 
     if args.dump_stages:
         for dump in result.stages:
@@ -133,9 +161,11 @@ def main(argv: Optional[List[str]] = None) -> int:
                           file=sys.stderr)
 
     if args.run:
-        config = TitanConfig(processors=args.processors)
+        config = TitanConfig(processors=args.processors,
+                             max_vector_length=args.vector_length)
         simulator = TitanSimulator(result.program, config,
-                                   schedules=result.schedules or None)
+                                   schedules=result.schedules or None,
+                                   profile=args.profile)
         report = simulator.run(args.run)
         if report.stdout:
             sys.stdout.write(report.stdout)
@@ -143,6 +173,13 @@ def main(argv: Optional[List[str]] = None) -> int:
               f"{report.seconds * 1e3:.3f} ms, "
               f"{report.mflops:.2f} MFLOPS, "
               f"result={report.result} */")
+        if args.profile and report.profile is not None:
+            print(report.profile.format(), file=sys.stderr)
+
+    if args.trace_json:
+        result.trace.write(args.trace_json)
+        print(f"titancc: wrote phase trace to {args.trace_json} "
+              f"(open in chrome://tracing)", file=sys.stderr)
     return 0
 
 

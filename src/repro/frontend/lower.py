@@ -182,6 +182,14 @@ class Lowerer:
         self.symtab.pop_scope()
 
     def _lower_stmt(self, node: A.Stmt, out: List[N.Stmt]) -> None:
+        start = len(out)
+        self._lower_stmt_dispatch(node, out)
+        coord = getattr(node, "coord", None)
+        if coord is not None and coord.line:
+            _stamp_lines(out[start:], coord.line)
+
+    def _lower_stmt_dispatch(self, node: A.Stmt,
+                             out: List[N.Stmt]) -> None:
         if isinstance(node, A.Compound):
             self._lower_compound(node, out)
         elif isinstance(node, A.DeclStmt):
@@ -935,6 +943,17 @@ def _zero_like(ctype: CType) -> N.Const:
     return N.Const(value=0, ctype=INT)
 
 
+def _stamp_lines(stmts: List[N.Stmt], line: int) -> None:
+    """Attribute freshly lowered statements to a source line.  Nested
+    statements lowered from their own AST nodes were stamped first and
+    keep their lines; only line-0 (synthetic) statements are filled."""
+    for stmt in stmts:
+        if stmt.line == 0:
+            stmt.line = line
+        for sub in stmt.substatements():
+            _stamp_lines(sub, line)
+
+
 def _uses_label(stmts: List[N.Stmt], label: str) -> bool:
     return any(isinstance(s, N.Goto) and s.label == label
                for s in N.walk_statements(stmts))
@@ -949,41 +968,43 @@ def _clone_stmts(stmts: List[N.Stmt]) -> List[N.Stmt]:
 
 
 def clone_stmt(stmt: N.Stmt) -> N.Stmt:
-    """Clone one statement (fresh sid, shared symbols, copied exprs)."""
+    """Clone one statement (fresh sid, shared symbols, copied exprs,
+    same source line)."""
+    line = stmt.line
     if isinstance(stmt, N.Assign):
         return N.Assign(target=_reread(stmt.target),
-                        value=N.clone_expr(stmt.value))
+                        value=N.clone_expr(stmt.value), line=line)
     if isinstance(stmt, N.VectorAssign):
         return N.VectorAssign(target=N.clone_expr(stmt.target),
-                              value=N.clone_expr(stmt.value))
+                              value=N.clone_expr(stmt.value), line=line)
     if isinstance(stmt, N.VectorReduce):
         return N.VectorReduce(target=N.clone_expr(stmt.target),
                               op=stmt.op,
                               value=N.clone_expr(stmt.value),
-                              length=N.clone_expr(stmt.length))
+                              length=N.clone_expr(stmt.length), line=line)
     if isinstance(stmt, N.CallStmt):
-        return N.CallStmt(call=N.clone_expr(stmt.call))
+        return N.CallStmt(call=N.clone_expr(stmt.call), line=line)
     if isinstance(stmt, N.IfStmt):
         return N.IfStmt(cond=N.clone_expr(stmt.cond),
                         then=_clone_stmts(stmt.then),
-                        otherwise=_clone_stmts(stmt.otherwise))
+                        otherwise=_clone_stmts(stmt.otherwise), line=line)
     if isinstance(stmt, N.WhileLoop):
         return N.WhileLoop(cond=N.clone_expr(stmt.cond),
                            body=_clone_stmts(stmt.body),
-                           pragmas=stmt.pragmas)
+                           pragmas=stmt.pragmas, line=line)
     if isinstance(stmt, N.DoLoop):
         return N.DoLoop(var=stmt.var, lo=N.clone_expr(stmt.lo),
                         hi=N.clone_expr(stmt.hi), step=stmt.step,
                         body=_clone_stmts(stmt.body),
                         parallel=stmt.parallel, vector=stmt.vector,
-                        pragmas=stmt.pragmas)
+                        pragmas=stmt.pragmas, line=line)
     if isinstance(stmt, N.Goto):
-        return N.Goto(label=stmt.label)
+        return N.Goto(label=stmt.label, line=line)
     if isinstance(stmt, N.LabelStmt):
-        return N.LabelStmt(label=stmt.label)
+        return N.LabelStmt(label=stmt.label, line=line)
     if isinstance(stmt, N.Return):
         value = None if stmt.value is None else N.clone_expr(stmt.value)
-        return N.Return(value=value)
+        return N.Return(value=value, line=line)
     raise TypeError(f"cannot clone {stmt!r}")
 
 

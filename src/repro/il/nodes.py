@@ -224,6 +224,10 @@ class Stmt:
 
     sid: int = field(default_factory=lambda: next(_sid_counter),
                      kw_only=True)
+    # 1-based source line the statement was lowered from (0 = synthetic
+    # or unknown).  Carried through transformations so optimization
+    # remarks and the hot-loop profiler can point at the C source.
+    line: int = field(default=0, kw_only=True)
 
     def substatements(self) -> Tuple[List["Stmt"], ...]:
         """The nested statement lists (empty for leaf statements)."""

@@ -28,6 +28,7 @@ from ..frontend.ctypes_ import VOID
 from ..frontend.lower import clone_stmt
 from ..frontend.symtab import Symbol, SymbolTable
 from ..il import nodes as N
+from ..obs.remarks import RemarkCollector
 from ..opt import utils
 from .database import InlineDatabase, import_entry
 
@@ -52,12 +53,14 @@ class InlineStats:
 class Inliner:
     def __init__(self, program: N.ILProgram,
                  database: Optional[InlineDatabase] = None,
-                 options: Optional[InlineOptions] = None):
+                 options: Optional[InlineOptions] = None,
+                 remarks: Optional[RemarkCollector] = None):
         self.program = program
         self.symtab: SymbolTable = program.symtab
         self.database = database
         self.options = options or InlineOptions()
         self.stats = InlineStats()
+        self.remarks = remarks
         self._label_counter = itertools.count(1)
         self._imported: Dict[str, N.ILFunction] = {}
 
@@ -140,24 +143,54 @@ class Inliner:
             return None
         if depth >= self.options.max_depth:
             self.stats.recursion_skipped += 1
+            self._remark_missed(caller, stmt, name,
+                                f"inline depth limit "
+                                f"{self.options.max_depth} reached")
             return None
         if name in stack:
             self.stats.recursion_skipped += 1
+            self._remark_missed(caller, stmt, name,
+                                "recursive call (callee already on the "
+                                "expansion stack)")
             return None
         callee = self._resolve(name)
         if callee is None:
             self.stats.unknown_skipped += 1
+            self._remark_missed(caller, stmt, name,
+                                "callee not found in this file or any "
+                                "inline database")
             return None
         if len(call.args) != len(callee.params):
             self.stats.unknown_skipped += 1
+            self._remark_missed(caller, stmt, name,
+                                f"argument count {len(call.args)} does "
+                                f"not match {len(callee.params)} "
+                                f"parameter(s)")
             return None
         size = utils.count_statements(callee.body)
         if size > self.options.max_callee_statements:
             self.stats.too_large_skipped += 1
+            self._remark_missed(caller, stmt, name,
+                                f"callee body too large ({size} > "
+                                f"{self.options.max_callee_statements} "
+                                f"statements)")
             return None
         expansion = self._expand_site(caller, stmt, call, callee)
         self.stats.sites_inlined += 1
+        if self.remarks is not None:
+            self.remarks.transformed(
+                "inline", caller.name,
+                f"call to '{name}' inlined ({size} statement(s), "
+                f"{len(callee.params)} parameter(s) bound to "
+                f"in_ temporaries)", stmt=stmt, callee=name, size=size)
         return expansion
+
+    def _remark_missed(self, caller: N.ILFunction, stmt: N.Stmt,
+                       name: str, detail: str) -> None:
+        if self.remarks is not None:
+            self.remarks.missed("inline", caller.name,
+                                f"call to '{name}' not inlined: "
+                                f"{detail}", stmt=stmt, callee=name)
 
     def _resolve(self, name: str) -> Optional[N.ILFunction]:
         fn = self.program.functions.get(name)
@@ -187,7 +220,7 @@ class Inliner:
             mapping[param] = clone
             out.append(N.Assign(
                 target=N.VarRef(sym=clone, ctype=clone.ctype),
-                value=N.clone_expr(arg)))
+                value=N.clone_expr(arg), line=stmt.line))
         for loc in callee.local_syms:
             clone = self.symtab.clone_symbol(loc, prefix="in")
             caller.local_syms.append(clone)
@@ -302,5 +335,7 @@ def _call_of(stmt: N.Stmt) -> Optional[N.CallExpr]:
 
 def inline_program(program: N.ILProgram,
                    database: Optional[InlineDatabase] = None,
-                   options: Optional[InlineOptions] = None) -> InlineStats:
-    return Inliner(program, database, options).run()
+                   options: Optional[InlineOptions] = None,
+                   remarks: Optional[RemarkCollector] = None
+                   ) -> InlineStats:
+    return Inliner(program, database, options, remarks=remarks).run()

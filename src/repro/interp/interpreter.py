@@ -203,6 +203,7 @@ class Interpreter:
         graph = self._graph(fn)
         node: Optional[FlowNode] = graph.entry
         retval: Optional[Value] = None
+        self._cost("fn_enter", fn.name)
         try:
             while node is not None and node is not graph.exit:
                 self._tick()
@@ -212,6 +213,7 @@ class Interpreter:
                     break
         finally:
             self.memory.release(frame.mark)
+            self._cost("fn_exit", fn.name)
         return retval
 
     def _exec_node(self, node: FlowNode, frame: _Frame):
@@ -328,11 +330,21 @@ class Interpreter:
                 trips = list(trips)
                 self._rng.shuffle(trips)
             self._cost("parallel_begin", stmt.sid)
+        else:
+            # Vector (non-parallel) loops bypass the flow-graph DO
+            # nodes, so announce the loop ourselves.  The cost model
+            # ignores these for unscheduled loops; the profiler uses
+            # them for per-loop attribution.
+            self._cost("do_enter", stmt.sid)
         for value in trips:
             self._write_var(frame, stmt.var, value)
             self._exec_stmt_list(stmt.body, frame)
+            if not stmt.parallel:
+                self._cost("do_iter", stmt.sid)
         if stmt.parallel:
             self._cost("parallel_end", stmt.sid, len(trips))
+        else:
+            self._cost("do_exit", stmt.sid)
         self._write_var(frame, stmt.var,
                         trips[-1] + step if trips else lo)
         # do_init's structured successor chain: init -> cond -> ... ->

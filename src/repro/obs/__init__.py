@@ -1,0 +1,24 @@
+"""Observability: optimization remarks, pass tracing, hot-loop profiling.
+
+Three independent layers, all off by default:
+
+* :mod:`.remarks` — LLVM-style per-decision remarks from every
+  transforming pass (``--remarks``);
+* :mod:`.trace` — wall-time + work spans per pipeline phase, exported
+  as Chrome trace-event JSON (``--trace-json``);
+* :mod:`.profiler` — per-loop / per-function cycle attribution inside
+  the Titan simulator (``--profile``).
+"""
+
+from .remarks import (ANALYSIS, MISSED, TRANSFORMED, Remark,
+                      RemarkCollector)
+from .trace import PassTracer, TraceEvent
+from .profiler import (FunctionProfile, HotLoopProfiler, LoopInfo,
+                       LoopProfile, ProfileReport, collect_loop_info)
+
+__all__ = [
+    "ANALYSIS", "MISSED", "TRANSFORMED", "Remark", "RemarkCollector",
+    "PassTracer", "TraceEvent",
+    "FunctionProfile", "HotLoopProfiler", "LoopInfo", "LoopProfile",
+    "ProfileReport", "collect_loop_info",
+]

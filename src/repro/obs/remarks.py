@@ -1,0 +1,121 @@
+"""Optimization remarks — the explainability stream (sections 5–6).
+
+The paper's argument for its transformations is made by *transcripts*:
+§5–6 walk through exactly why each loop did or did not vectorize
+(dependence cycles, blocked IV substitution, unprovable ``while``
+termination).  This module is the machine-readable form of those
+transcripts, modelled on LLVM's ``-Rpass`` remark stream: every
+transforming pass emits a :class:`Remark` per decision, and the driver
+can print them (``titancc file.c --remarks``), tests can assert on
+them, and learned-policy work (NeuroVectorizer, PAPERS.md) can consume
+them as a per-loop feedback signal.
+
+Three remark kinds, following the LLVM taxonomy:
+
+* ``transformed`` — the pass applied an optimization (``-Rpass``);
+* ``missed`` — the pass declined, with the dependence-based reason
+  (``-Rpass-missed``);
+* ``analysis`` — supporting facts: schedules, blocking/backtracking
+  events, trip counts (``-Rpass-analysis``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+TRANSFORMED = "transformed"
+MISSED = "missed"
+ANALYSIS = "analysis"
+
+_KINDS = (TRANSFORMED, MISSED, ANALYSIS)
+
+
+@dataclass
+class Remark:
+    """One optimization decision, attributable to a source location."""
+
+    pass_name: str           # "vectorize", "while-to-do", "ivsub", ...
+    kind: str                # transformed | missed | analysis
+    function: str            # enclosing function name
+    message: str             # human-readable explanation
+    sid: Optional[int] = None   # statement id of the loop/stmt
+    line: int = 0            # 1-based source line (0 = unknown)
+    filename: str = ""       # source file the line refers to
+    args: Dict[str, object] = field(default_factory=dict)
+
+    def format(self) -> str:
+        """LLVM-style one-liner: ``file.c:7: remark: [vectorize] ...``."""
+        where = f"{self.filename or '<input>'}:{self.line}" if self.line \
+            else f"{self.filename or '<input>'}:{self.function}"
+        tag = {TRANSFORMED: "remark", MISSED: "missed",
+               ANALYSIS: "analysis"}[self.kind]
+        return (f"{where}: {tag}: [{self.pass_name}] {self.message} "
+                f"(function '{self.function}')")
+
+
+class RemarkCollector:
+    """Accumulates remarks across a whole compilation.
+
+    Passes hold an optional reference and emit through the convenience
+    methods; a ``None`` collector (the default everywhere) makes every
+    emission a no-op, so library users who never ask for remarks pay
+    nothing and golden-transcript output is unchanged.
+    """
+
+    def __init__(self, filename: str = "<input>"):
+        self.filename = filename
+        self.remarks: List[Remark] = []
+
+    # -- emission ------------------------------------------------------
+
+    def emit(self, pass_name: str, kind: str, function: str,
+             message: str, stmt=None, sid: Optional[int] = None,
+             line: int = 0, **args) -> Remark:
+        if kind not in _KINDS:
+            raise ValueError(f"unknown remark kind {kind!r}")
+        if stmt is not None:
+            sid = getattr(stmt, "sid", sid)
+            line = getattr(stmt, "line", line) or line
+        remark = Remark(pass_name=pass_name, kind=kind,
+                        function=function, message=message, sid=sid,
+                        line=line, filename=self.filename, args=args)
+        self.remarks.append(remark)
+        return remark
+
+    def transformed(self, pass_name: str, function: str, message: str,
+                    stmt=None, **args) -> Remark:
+        return self.emit(pass_name, TRANSFORMED, function, message,
+                         stmt=stmt, **args)
+
+    def missed(self, pass_name: str, function: str, message: str,
+               stmt=None, **args) -> Remark:
+        return self.emit(pass_name, MISSED, function, message,
+                         stmt=stmt, **args)
+
+    def analysis(self, pass_name: str, function: str, message: str,
+                 stmt=None, **args) -> Remark:
+        return self.emit(pass_name, ANALYSIS, function, message,
+                         stmt=stmt, **args)
+
+    # -- queries -------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.remarks)
+
+    def __iter__(self) -> Iterator[Remark]:
+        return iter(self.remarks)
+
+    def for_pass(self, pass_name: str) -> List[Remark]:
+        return [r for r in self.remarks if r.pass_name == pass_name]
+
+    def for_kind(self, kind: str) -> List[Remark]:
+        return [r for r in self.remarks if r.kind == kind]
+
+    def for_function(self, function: str) -> List[Remark]:
+        return [r for r in self.remarks if r.function == function]
+
+    def format_all(self, kinds: Optional[List[str]] = None) -> str:
+        wanted = set(kinds) if kinds else set(_KINDS)
+        return "\n".join(r.format() for r in self.remarks
+                         if r.kind in wanted)

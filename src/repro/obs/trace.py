@@ -1,0 +1,99 @@
+"""Pass tracing: wall-time and work records per compiler phase.
+
+:class:`PassTracer` timestamps every pipeline phase (and every scalar
+optimization round) and exports the result as Chrome trace-event JSON
+— the ``chrome://tracing`` / Perfetto "JSON Array with metadata"
+format: ``{"traceEvents": [{"name", "cat", "ph", "ts", "dur", "pid",
+"tid", "args"}, ...]}`` with complete events (``ph == "X"``) and
+microsecond timestamps.
+
+Each span also records work metrics (statement counts before/after,
+per-pass stats deltas) in the event ``args``, so a trace answers both
+"where did compile time go" and "which phase did how much rewriting"
+— the prerequisite for every ROADMAP perf item.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+
+@dataclass
+class TraceEvent:
+    """One complete ("X") Chrome trace event."""
+
+    name: str
+    cat: str
+    start_us: float
+    duration_us: float
+    args: Dict[str, object] = field(default_factory=dict)
+
+    def to_chrome(self, pid: int, tid: int = 1) -> Dict[str, object]:
+        return {"name": self.name, "cat": self.cat, "ph": "X",
+                "ts": self.start_us, "dur": self.duration_us,
+                "pid": pid, "tid": tid, "args": dict(self.args)}
+
+
+class PassTracer:
+    """Records phase spans; exports Chrome trace-event JSON."""
+
+    def __init__(self, clock=time.perf_counter):
+        self._clock = clock
+        self._origin = clock()
+        self.events: List[TraceEvent] = []
+
+    def _now_us(self) -> float:
+        return (self._clock() - self._origin) * 1e6
+
+    @contextmanager
+    def span(self, name: str, cat: str = "phase",
+             **static_args) -> Iterator[Dict[str, object]]:
+        """Time a phase.  The yielded dict collects extra ``args``
+        (statement counts, stats deltas) to attach to the event."""
+        args: Dict[str, object] = dict(static_args)
+        start = self._now_us()
+        try:
+            yield args
+        finally:
+            end = self._now_us()
+            self.events.append(TraceEvent(name=name, cat=cat,
+                                          start_us=start,
+                                          duration_us=end - start,
+                                          args=args))
+
+    # -- queries -------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def event_named(self, name: str) -> TraceEvent:
+        for event in self.events:
+            if event.name == name:
+                return event
+        raise KeyError(name)
+
+    def total_us(self) -> float:
+        return sum(e.duration_us for e in self.events
+                   if e.cat == "phase")
+
+    # -- export --------------------------------------------------------
+
+    def to_chrome(self) -> Dict[str, object]:
+        pid = os.getpid()
+        return {
+            "traceEvents": [e.to_chrome(pid) for e in self.events],
+            "displayTimeUnit": "ms",
+            "otherData": {"producer": "titancc PassTracer"},
+        }
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        return json.dumps(self.to_chrome(), indent=indent)
+
+    def write(self, path: str) -> None:
+        with open(path, "w") as handle:
+            handle.write(self.to_json(indent=1))

@@ -29,6 +29,7 @@ from typing import Dict, List, Optional, Tuple
 from ..frontend.ctypes_ import INT
 from ..frontend.symtab import Symbol, SymbolTable
 from ..il import nodes as N
+from ..obs.remarks import RemarkCollector
 from . import utils
 from .affine import reads_through_chain, trace_step
 from .fold import simplify
@@ -46,10 +47,12 @@ class IVSubStats:
 
 class InductionVariableSubstitution:
     def __init__(self, symtab: SymbolTable,
-                 aggressive_forward_sub: bool = True):
+                 aggressive_forward_sub: bool = True,
+                 remarks: Optional[RemarkCollector] = None):
         self.symtab = symtab
         self.aggressive = aggressive_forward_sub
         self.stats = IVSubStats()
+        self.remarks = remarks
 
     def run(self, fn: N.ILFunction) -> IVSubStats:
         def visit(loop: N.Stmt, owner: List[N.Stmt], index: int) -> None:
@@ -84,14 +87,23 @@ class InductionVariableSubstitution:
                             ctype=INT)
             owner.insert(position, N.Assign(
                 target=N.VarRef(sym=trip, ctype=INT),
-                value=simplify(count)))
+                value=simplify(count), line=loop.line))
             insert_at = owner.index(loop) + 1
             for sym, (update_stmt, step) in ivs.items():
                 self._substitute_iv(loop, sym, update_stmt, step)
-                owner.insert(insert_at,
-                             self._exit_value_stmt(trip, sym, step))
+                exit_stmt = self._exit_value_stmt(trip, sym, step)
+                exit_stmt.line = loop.line
+                owner.insert(insert_at, exit_stmt)
                 insert_at += 1
                 self.stats.ivs_substituted += 1
+                if self.remarks is not None:
+                    self.remarks.transformed(
+                        "ivsub", fn.name,
+                        f"induction variable '{sym.name}' substituted "
+                        f"(step {step:+d} per iteration); closed form "
+                        f"used in the body, exit value reconstructed "
+                        f"after the loop", stmt=loop, var=sym.name,
+                        step=step)
         # Backtracking: removing the IV updates unblocks the temp-chain
         # copies; forward substitution now pushes them into the uses.
         sub_stats = SubstitutionStats()
@@ -100,6 +112,23 @@ class InductionVariableSubstitution:
         self.stats.sweeps += sub_stats.sweeps
         self.stats.backtracks += sub_stats.backtracks
         self.stats.substitutions += sub_stats.substitutions
+        if self.remarks is not None and sub_stats.blocked:
+            self.remarks.analysis(
+                "ivsub", fn.name,
+                f"forward substitution blocked {sub_stats.blocked} "
+                f"time(s) by intervening definitions (section 5.3)",
+                stmt=loop, blocked=sub_stats.blocked)
+        if self.remarks is not None and sub_stats.backtracks:
+            self.remarks.analysis(
+                "ivsub", fn.name,
+                f"forward substitution backtracked "
+                f"{sub_stats.backtracks} time(s) after blocked copies "
+                f"were unblocked; {sub_stats.sweeps} sweep(s), "
+                f"{sub_stats.substitutions} substitution(s) "
+                f"(section 5.3 worst case is one sweep per statement)",
+                stmt=loop, backtracks=sub_stats.backtracks,
+                sweeps=sub_stats.sweeps,
+                substitutions=sub_stats.substitutions)
         self._simplify_body(loop)
 
     # -- IV discovery -----------------------------------------------------

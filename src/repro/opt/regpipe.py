@@ -32,6 +32,7 @@ from ..dependence.tests import test_pair
 from ..frontend.ctypes_ import INT
 from ..frontend.symtab import Symbol, SymbolTable
 from ..il import nodes as N
+from ..obs.remarks import RemarkCollector
 from . import utils
 from .fold import simplify
 
@@ -44,9 +45,11 @@ class RegPipeStats:
 
 
 class RegisterPipelining:
-    def __init__(self, symtab: SymbolTable):
+    def __init__(self, symtab: SymbolTable,
+                 remarks: Optional[RemarkCollector] = None):
         self.symtab = symtab
         self.stats = RegPipeStats()
+        self.remarks = remarks
 
     def run(self, fn: N.ILFunction) -> RegPipeStats:
         self._fn = fn
@@ -129,8 +132,9 @@ class RegisterPipelining:
                          right=N.clone_expr(loop.lo), ctype=INT),
             then=[N.Assign(target=N.VarRef(sym=freg, ctype=freg.ctype),
                            value=N.Mem(addr=preload_addr,
-                                       ctype=load.elem_type))],
-            otherwise=[])
+                                       ctype=load.elem_type),
+                           line=loop.line)],
+            otherwise=[], line=loop.line)
         owner.insert(owner.index(loop), preload)
         # Replace the load with the register.
         _replace_mem(load.stmt, load.mem, freg_ref)
@@ -140,11 +144,19 @@ class RegisterPipelining:
         value = target_stmt.value
         new_assign = N.Assign(target=N.VarRef(sym=freg,
                                               ctype=freg.ctype),
-                              value=value)
+                              value=value, line=target_stmt.line)
         target_stmt.value = N.VarRef(sym=freg, ctype=freg.ctype)
         body.insert(body.index(target_stmt), new_assign)
         self.stats.loads_replaced += 1
         self.stats.preloads_inserted += 1
+        if self.remarks is not None:
+            self.remarks.transformed(
+                "regpipe", self._fn.name,
+                f"loop-carried flow pulled into register "
+                f"'{freg.name}': load of the value stored one "
+                f"iteration earlier (distance 1) replaced by a "
+                f"register reuse, preload inserted before the loop",
+                stmt=loop, register=freg.name)
         return True
 
 

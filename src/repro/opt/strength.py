@@ -35,6 +35,7 @@ from ..dependence.refs import _NotAffine, _ParseState
 from ..frontend.ctypes_ import INT, PointerType
 from ..frontend.symtab import Symbol, SymbolTable
 from ..il import nodes as N
+from ..obs.remarks import RemarkCollector
 from . import utils
 from .fold import simplify
 
@@ -48,9 +49,11 @@ class StrengthStats:
 
 
 class StrengthReduction:
-    def __init__(self, symtab: SymbolTable):
+    def __init__(self, symtab: SymbolTable,
+                 remarks: Optional[RemarkCollector] = None):
         self.symtab = symtab
         self.stats = StrengthStats()
+        self.remarks = remarks
 
     def run(self, fn: N.ILFunction) -> StrengthStats:
         self._fn = fn
@@ -71,11 +74,31 @@ class StrengthReduction:
                    for s in loop.body):
             return
         self.stats.loops_examined += 1
+        before = (self.stats.addresses_reduced,
+                  self.stats.pointer_temps,
+                  self.stats.invariants_hoisted)
         defined = utils.symbols_defined_in(loop.body)
         self._reduce_addresses(loop, owner, defined)
         # Recompute: address reduction added pointer bumps to the body.
         self._hoist_invariants(loop, owner,
                                utils.symbols_defined_in(loop.body))
+        reduced = self.stats.addresses_reduced - before[0]
+        temps = self.stats.pointer_temps - before[1]
+        hoisted = self.stats.invariants_hoisted - before[2]
+        if self.remarks is not None and (reduced or hoisted):
+            details = []
+            if reduced:
+                details.append(f"{reduced} address(es) reduced to "
+                               f"{temps} bumped pointer temp(s)")
+            if hoisted:
+                details.append(f"{hoisted} loop-invariant "
+                               f"expression(s) hoisted to the "
+                               f"preheader")
+            self.remarks.transformed(
+                "strength", self._fn.name,
+                "strength reduction: " + "; ".join(details),
+                stmt=loop, addresses_reduced=reduced,
+                pointer_temps=temps, invariants_hoisted=hoisted)
 
     # -- address strength reduction ------------------------------------------
 
@@ -108,14 +131,15 @@ class StrengthReduction:
                     ctype=ptr.ctype))
                 preheader.append(N.Assign(
                     target=N.VarRef(sym=ptr, ctype=ptr.ctype),
-                    value=base0))
+                    value=base0, line=loop.line))
                 bumps.append(N.Assign(
                     target=N.VarRef(sym=ptr, ctype=ptr.ctype),
                     value=N.BinOp(op="+",
                                   left=N.VarRef(sym=ptr,
                                                 ctype=ptr.ctype),
                                   right=N.int_const(coeff * loop.step),
-                                  ctype=ptr.ctype)))
+                                  ctype=ptr.ctype),
+                    line=loop.line))
                 groups[key] = (ptr, offset)
                 self.stats.pointer_temps += 1
             ptr, base_offset = groups[key]
@@ -223,7 +247,7 @@ class StrengthReduction:
             position = owner.index(loop)
             owner[position:position] = [
                 N.Assign(target=N.VarRef(sym=sym, ctype=sym.ctype),
-                         value=expr)
+                         value=expr, line=loop.line)
                 for expr, sym in hoisted]
 
 

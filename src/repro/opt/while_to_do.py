@@ -40,6 +40,7 @@ from typing import Dict, List, Optional, Tuple
 from ..frontend.ctypes_ import INT
 from ..frontend.symtab import Symbol, SymbolTable
 from ..il import nodes as N
+from ..obs.remarks import RemarkCollector
 from . import utils
 from .affine import trace_step
 from .fold import simplify
@@ -61,12 +62,32 @@ class WhileToDoStats:
 class WhileToDo:
     """Converts eligible while loops in one function, innermost first."""
 
-    def __init__(self, symtab: SymbolTable, strict: bool = False):
+    REJECT_MESSAGES = {
+        "irregular-flow": "loop body has irregular control flow "
+                          "(goto/break/early return)",
+        "condition-shape": "condition is not 'var cmp loop-invariant "
+                           "bound'",
+        "variable-unsafe": "control variable is volatile, address-taken,"
+                           " or globally visible",
+        "no-simple-update": "control variable lacks a single "
+                            "unconditional constant-step update",
+        "bound-varies": "loop bound is redefined inside the body",
+        "direction-or-strictness": "step direction disagrees with the "
+                                   "comparison (or '!=' termination "
+                                   "assumption disabled by strict mode)",
+    }
+
+    def __init__(self, symtab: SymbolTable, strict: bool = False,
+                 remarks: Optional[RemarkCollector] = None):
         self.symtab = symtab
         self.strict = strict
         self.stats = WhileToDoStats()
+        self.remarks = remarks
+        self._fn_name = ""
 
     def run(self, fn: N.ILFunction) -> WhileToDoStats:
+        self._fn_name = fn.name
+
         def visit(loop: N.Stmt, owner: List[N.Stmt], index: int) -> None:
             if isinstance(loop, N.WhileLoop):
                 self.stats.examined += 1
@@ -82,36 +103,53 @@ class WhileToDo:
 
     # ------------------------------------------------------------------
 
+    def _reject(self, loop: N.WhileLoop, reason: str) -> None:
+        self.stats.reject(reason)
+        if self.remarks is not None:
+            self.remarks.missed(
+                "while-to-do", self._fn_name,
+                f"while loop not converted to DO: "
+                f"{self.REJECT_MESSAGES[reason]}",
+                stmt=loop, reason=reason)
+
     def _try_convert(self, loop: N.WhileLoop) -> Optional[N.DoLoop]:
         if utils.has_irregular_flow(loop.body):
-            self.stats.reject("irregular-flow")
+            self._reject(loop, "irregular-flow")
             return None
         parsed = self._parse_condition(loop.cond)
         if parsed is None:
-            self.stats.reject("condition-shape")
+            self._reject(loop, "condition-shape")
             return None
         var, cmp_op, bound = parsed
         if var.is_volatile or var.address_taken or \
                 var.storage in ("global", "static", "extern"):
-            self.stats.reject("variable-unsafe")
+            self._reject(loop, "variable-unsafe")
             return None
         step = self._update_step(loop.body, var)
         if step is None:
-            self.stats.reject("no-simple-update")
+            self._reject(loop, "no-simple-update")
             return None
         defined = utils.symbols_defined_in(loop.body)
         if not utils.expr_is_invariant(bound, defined):
-            self.stats.reject("bound-varies")
+            self._reject(loop, "bound-varies")
             return None
         count = self._trip_count(var, cmp_op, bound, step)
         if count is None:
-            self.stats.reject("direction-or-strictness")
+            self._reject(loop, "direction-or-strictness")
             return None
         dovar = self.symtab.fresh_temp(INT, "dovar")
         hi = simplify(N.BinOp(op="-", left=count, right=N.int_const(1),
                               ctype=INT))
+        if self.remarks is not None:
+            self.remarks.transformed(
+                "while-to-do", self._fn_name,
+                f"while loop converted to normalized DO loop "
+                f"({dovar.name} = 0..count-1, step {step:+d} on "
+                f"'{var.name}')",
+                stmt=loop, control_var=var.name, step=step)
         return N.DoLoop(var=dovar, lo=N.int_const(0), hi=hi, step=1,
-                        body=loop.body, pragmas=loop.pragmas)
+                        body=loop.body, pragmas=loop.pragmas,
+                        line=loop.line)
 
     def _parse_condition(self, cond: N.Expr
                          ) -> Optional[Tuple[Symbol, str, N.Expr]]:
@@ -205,5 +243,7 @@ def _ceil_div(diff: N.Expr, step: int) -> N.Expr:
 
 
 def convert_while_loops(fn: N.ILFunction, symtab: SymbolTable,
-                        strict: bool = False) -> WhileToDoStats:
-    return WhileToDo(symtab, strict).run(fn)
+                        strict: bool = False,
+                        remarks: Optional[RemarkCollector] = None
+                        ) -> WhileToDoStats:
+    return WhileToDo(symtab, strict, remarks=remarks).run(fn)

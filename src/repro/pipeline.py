@@ -30,6 +30,8 @@ from .il.printer import format_function, format_program
 from .il.validate import validate_program
 from .inline.database import InlineDatabase
 from .inline.inliner import InlineOptions, InlineStats, inline_program
+from .obs.remarks import RemarkCollector
+from .obs.trace import PassTracer
 from .opt import utils
 from .opt.constprop import ConstPropStats, propagate_constants
 from .opt.deadcode import DCEStats, eliminate_dead_code
@@ -94,6 +96,12 @@ class CompilationResult:
     schedules: Dict[int, object] = field(default_factory=dict)
     listparallel_stats: Dict[str, object] = field(default_factory=dict)
     cond_split_stats: Dict[str, object] = field(default_factory=dict)
+    # Observability: always collected (negligible cost, no output
+    # unless asked for).  ``remarks`` is the per-decision stream the
+    # CLI prints under --remarks; ``trace`` holds per-phase wall-time
+    # and work spans exportable as Chrome trace JSON (--trace-json).
+    remarks: RemarkCollector = field(default_factory=RemarkCollector)
+    trace: PassTracer = field(default_factory=PassTracer)
 
     def stage_text(self, stage: str) -> str:
         for dump in self.stages:
@@ -119,22 +127,42 @@ class TitanCompiler:
     def compile(self, source: str, filename: str = "<input>",
                 headers: Optional[Dict[str, str]] = None
                 ) -> CompilationResult:
-        program = compile_to_il(source, filename, headers=headers)
-        return self.compile_program(program)
+        tracer = PassTracer()
+        with tracer.span("front-end") as args:
+            program = compile_to_il(source, filename, headers=headers)
+            args["statements"] = _program_statements(program)
+            args["functions"] = len(program.functions)
+        return self.compile_program(program, filename=filename,
+                                    tracer=tracer)
 
-    def compile_program(self, program: N.ILProgram) -> CompilationResult:
+    def compile_program(self, program: N.ILProgram,
+                        filename: str = "<input>",
+                        tracer: Optional[PassTracer] = None
+                        ) -> CompilationResult:
         opts = self.options
-        result = CompilationResult(program=program, options=opts)
+        result = CompilationResult(program=program, options=opts,
+                                   remarks=RemarkCollector(filename),
+                                   trace=tracer or PassTracer())
+        remarks = result.remarks
+        trace = result.trace
         self._dump(result, "front-end")
         if opts.inline:
-            result.inline_stats = inline_program(
-                program, self.database,
-                InlineOptions(
-                    max_callee_statements=opts.max_inline_statements))
+            with trace.span("inline") as args:
+                result.inline_stats = inline_program(
+                    program, self.database,
+                    InlineOptions(
+                        max_callee_statements=opts
+                        .max_inline_statements),
+                    remarks=remarks)
+                args["sites_inlined"] = result.inline_stats.sites_inlined
+                args["statements"] = _program_statements(program)
             self._dump(result, "inline")
         if opts.scalar_opt:
             for round_no in range(opts.scalar_opt_rounds):
-                self._scalar_round(program, result)
+                with trace.span(f"scalar-opt round {round_no + 1}") \
+                        as args:
+                    self._scalar_round(program, result, remarks)
+                    args["statements"] = _program_statements(program)
             self._dump(result, "scalar-opt")
         if opts.vectorize:
             voptions = VectorizeOptions(
@@ -142,54 +170,81 @@ class TitanCompiler:
                 max_vector_length=opts.max_vector_length,
                 parallelize=opts.parallelize,
                 assume_no_alias=opts.fortran_pointer_semantics)
-            for name, fn in program.functions.items():
-                vectorizer = Vectorizer(program.symtab, voptions)
-                stats = vectorizer.run(fn)
-                result.vectorize_stats[name] = _merge_vec_stats(
-                    result.vectorize_stats.get(name), stats)
+            with trace.span("vectorize") as args:
+                for name, fn in program.functions.items():
+                    vectorizer = Vectorizer(program.symtab, voptions,
+                                            remarks=remarks)
+                    stats = vectorizer.run(fn)
+                    result.vectorize_stats[name] = _merge_vec_stats(
+                        result.vectorize_stats.get(name), stats)
+                args["loops_vectorized"] = sum(
+                    s.loops_vectorized
+                    for s in result.vectorize_stats.values())
+                args["loops_parallelized"] = sum(
+                    s.loops_parallelized
+                    for s in result.vectorize_stats.values())
+                args["statements"] = _program_statements(program)
             self._dump(result, "vectorize")
         if opts.parallelize_lists:
             from .vectorize.listparallel import ListParallelizer
-            for name, fn in program.functions.items():
-                parallelizer = ListParallelizer()
-                parallelizer.run(fn)
-                result.listparallel_stats[name] = parallelizer.stats
+            with trace.span("list-parallel") as args:
+                for name, fn in program.functions.items():
+                    parallelizer = ListParallelizer()
+                    parallelizer.run(fn)
+                    result.listparallel_stats[name] = parallelizer.stats
+                args["statements"] = _program_statements(program)
             self._dump(result, "list-parallel")
         if opts.reg_pipeline or opts.strength_reduction:
             from .opt.regpipe import RegisterPipelining
             from .opt.strength import StrengthReduction
             from .sched.scheduler import LoopScheduler
-            for name, fn in program.functions.items():
-                if opts.reg_pipeline:
-                    pipe = RegisterPipelining(program.symtab)
-                    pipe.run(fn)
-                    result.regpipe_stats[name] = pipe.stats
+            if opts.reg_pipeline:
+                with trace.span("reg-pipeline") as args:
+                    for name, fn in program.functions.items():
+                        pipe = RegisterPipelining(program.symtab,
+                                                  remarks=remarks)
+                        pipe.run(fn)
+                        result.regpipe_stats[name] = pipe.stats
+                    args["loads_replaced"] = sum(
+                        s.loads_replaced
+                        for s in result.regpipe_stats.values())
             # Schedules are derived while named-array dependence
             # information is still visible (section 6: the dependence
             # graph is "passed back to the code generation"); strength
             # reduction afterwards rewrites addresses to pointer bumps,
             # which would hide the aliasing structure.
-            scheduler = LoopScheduler()
-            for name, fn in program.functions.items():
-                scheduler.run(fn)
-            result.schedules = scheduler.schedules
-            for name, fn in program.functions.items():
-                if opts.strength_reduction:
-                    red = StrengthReduction(program.symtab)
-                    red.run(fn)
-                    result.strength_stats[name] = red.stats
+            with trace.span("schedule") as args:
+                scheduler = LoopScheduler(remarks=remarks)
+                for name, fn in program.functions.items():
+                    scheduler.run(fn)
+                result.schedules = scheduler.schedules
+                args["loops_scheduled"] = len(result.schedules)
+            if opts.strength_reduction:
+                with trace.span("strength-reduction") as args:
+                    for name, fn in program.functions.items():
+                        red = StrengthReduction(program.symtab,
+                                                remarks=remarks)
+                        red.run(fn)
+                        result.strength_stats[name] = red.stats
+                    args["addresses_reduced"] = sum(
+                        s.addresses_reduced
+                        for s in result.strength_stats.values())
             self._dump(result, "dependence-opt")
         if opts.scalar_opt:
-            for name, fn in program.functions.items():
-                eliminate_dead_code(fn, program.globals)
+            with trace.span("final-dce") as args:
+                for name, fn in program.functions.items():
+                    eliminate_dead_code(fn, program.globals)
+                args["statements"] = _program_statements(program)
             self._dump(result, "final")
-        validate_program(program)
+        with trace.span("validate"):
+            validate_program(program)
         return result
 
     # ------------------------------------------------------------------
 
     def _scalar_round(self, program: N.ILProgram,
-                      result: CompilationResult) -> None:
+                      result: CompilationResult,
+                      remarks: Optional[RemarkCollector] = None) -> None:
         opts = self.options
         for name, fn in program.functions.items():
             # Copy propagation first, so while conditions that test a
@@ -197,7 +252,8 @@ class TitanCompiler:
             for lst in utils.each_stmt_list(fn.body):
                 forward_substitute(lst, aggressive=False)
             wstats = WhileToDo(program.symtab,
-                               strict=opts.strict_while_conversion).run(fn)
+                               strict=opts.strict_while_conversion,
+                               remarks=remarks).run(fn)
             _merge(result.while_to_do_stats, name, wstats,
                    ("examined", "converted"))
             if opts.split_termination:
@@ -206,7 +262,8 @@ class TitanCompiler:
                 sstats = splitter.run(fn)
                 _merge(result.cond_split_stats, name, sstats,
                        ("examined", "split"))
-            istats = InductionVariableSubstitution(program.symtab).run(fn)
+            istats = InductionVariableSubstitution(
+                program.symtab, remarks=remarks).run(fn)
             _merge(result.ivsub_stats, name, istats,
                    ("loops", "ivs_substituted", "sweeps", "backtracks",
                     "substitutions"))
@@ -227,6 +284,12 @@ class TitanCompiler:
             result.stages.append(
                 StageDump(stage=stage,
                           text=format_program(result.program)))
+
+
+def _program_statements(program: N.ILProgram) -> int:
+    """Total statement count across all functions (trace span metric)."""
+    return sum(1 for fn in program.functions.values()
+               for _ in fn.all_statements())
 
 
 def _merge(store: Dict[str, object], name: str, stats: object,

@@ -29,6 +29,7 @@ from typing import Dict, List, Optional, Tuple
 from ..dependence.graph import (ANTI_DEP, DependenceGraph, OUTPUT_DEP,
                                 TRUE_DEP)
 from ..il import nodes as N
+from ..obs.remarks import RemarkCollector
 from ..opt import utils
 from ..titan.config import TitanConfig
 
@@ -68,9 +69,11 @@ class LoopSchedule:
 class LoopScheduler:
     """Computes schedules for every eligible loop in a function."""
 
-    def __init__(self, config: Optional[TitanConfig] = None):
+    def __init__(self, config: Optional[TitanConfig] = None,
+                 remarks: Optional[RemarkCollector] = None):
         self.config = config or TitanConfig()
         self.schedules: Dict[int, LoopSchedule] = {}
+        self.remarks = remarks
 
     def run(self, fn: N.ILFunction) -> Dict[int, LoopSchedule]:
         def visit(loop: N.Stmt, owner: List[N.Stmt], index: int) -> None:
@@ -79,6 +82,24 @@ class LoopScheduler:
                 schedule = self.schedule_loop(loop)
                 if schedule is not None:
                     self.schedules[loop.sid] = schedule
+                    if self.remarks is not None:
+                        bound = "recurrence" if \
+                            schedule.recurrence_bound > \
+                            schedule.resource_bound else "resource"
+                        self.remarks.analysis(
+                            "schedule", fn.name,
+                            f"residual loop scheduled at initiation "
+                            f"interval "
+                            f"{schedule.initiation_interval:.0f} "
+                            f"cycles/iteration ({bound}-bound: "
+                            f"resource "
+                            f"{schedule.resource_bound:.0f}, "
+                            f"recurrence "
+                            f"{schedule.recurrence_bound:.0f})",
+                            stmt=loop,
+                            ii=schedule.initiation_interval,
+                            resource_bound=schedule.resource_bound,
+                            recurrence_bound=schedule.recurrence_bound)
 
         utils.for_each_loop(fn.body, visit)
         return self.schedules
@@ -170,10 +191,11 @@ class LoopScheduler:
 
 
 def schedule_program(program: N.ILProgram,
-                     config: Optional[TitanConfig] = None
+                     config: Optional[TitanConfig] = None,
+                     remarks: Optional[RemarkCollector] = None
                      ) -> Dict[int, LoopSchedule]:
     """Schedules for every function in the program, keyed by loop sid."""
-    scheduler = LoopScheduler(config)
+    scheduler = LoopScheduler(config, remarks=remarks)
     for fn in program.functions.values():
         scheduler.run(fn)
     return scheduler.schedules

@@ -39,7 +39,8 @@ class TitanCostModel:
     """A callable usable as the interpreter's ``cost_hook``."""
 
     def __init__(self, config: Optional[TitanConfig] = None,
-                 schedules: Optional[Dict[int, LoopSchedule]] = None):
+                 schedules: Optional[Dict[int, LoopSchedule]] = None,
+                 profiler=None):
         self.config = config or TitanConfig()
         self.schedules = schedules or {}
         self.cycles: float = 0.0
@@ -48,13 +49,23 @@ class TitanCostModel:
         self._sched_stack: List[List] = []
         # Stack of (sid, cycles_at_entry) for active parallel regions.
         self._parallel_stack: List[List] = []
+        # Optional HotLoopProfiler: sees every event plus the cycle
+        # delta it was charged, for per-loop/function attribution.
+        self.profiler = profiler
 
     # ------------------------------------------------------------------
 
     def __call__(self, kind: str, *details) -> None:
+        if self.profiler is None:
+            handler = getattr(self, "_on_" + kind, None)
+            if handler is not None:
+                handler(*details)
+            return
+        before = self.cycles
         handler = getattr(self, "_on_" + kind, None)
         if handler is not None:
             handler(*details)
+        self.profiler.on_event(kind, details, self.cycles - before)
 
     @property
     def _suppressed(self) -> bool:
@@ -109,26 +120,36 @@ class TitanCostModel:
 
     # -- vector instructions ----------------------------------------------------
 
+    def _chunks(self, length: int) -> int:
+        """A vector operand longer than the hardware maximum vector
+        length executes as several back-to-back instructions, each
+        paying its own pipeline-fill startup."""
+        mvl = max(1, self.config.max_vector_length)
+        return max(1, -(-max(length, 0) // mvl))
+
     def _on_vector(self, op: str, length: int, stride: int) -> None:
         cfg = self.config
-        self.counters.vector_instructions += 1
+        chunks = self._chunks(length)
+        self.counters.vector_instructions += chunks
         self.counters.vector_elements += length
         if op not in ("load", "store", "int_op"):
             self.counters.flops += length
         per_element = cfg.vector_element_cycles
         if op in ("load", "store") and abs(stride) != 1:
             per_element *= cfg.vector_stride_penalty
-        self._charge(cfg.vector_startup + per_element * max(length, 0))
+        self._charge(cfg.vector_startup * chunks
+                     + per_element * max(length, 0))
 
     def _on_vector_reduce(self, op: str, length: int) -> None:
         """A pipelined vector reduction: startup, one element per
         cycle, plus a short tree tail to collapse the partial sums."""
         cfg = self.config
-        self.counters.vector_instructions += 1
+        chunks = self._chunks(length)
+        self.counters.vector_instructions += chunks
         self.counters.vector_elements += length
         self.counters.flops += length
         tail = max(1, length).bit_length() * cfg.fp_issue
-        self._charge(cfg.vector_startup
+        self._charge(cfg.vector_startup * chunks
                      + cfg.vector_element_cycles * max(length, 0)
                      + tail)
 

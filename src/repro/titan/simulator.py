@@ -14,6 +14,8 @@ from typing import Dict, List, Optional, Sequence
 
 from ..il import nodes as N
 from ..interp.interpreter import Interpreter, Value
+from ..obs.profiler import (HotLoopProfiler, ProfileReport,
+                            collect_loop_info)
 from ..sched.scheduler import LoopSchedule, schedule_program
 from .config import TitanConfig
 from .cost_model import OpCounters, TitanCostModel
@@ -27,6 +29,9 @@ class TitanReport:
     counters: OpCounters
     result: Optional[Value] = None
     stdout: str = ""
+    # Per-loop / per-function cycle attribution, present when the
+    # simulator was built with profile=True.
+    profile: Optional[ProfileReport] = None
 
     def speedup_over(self, other: "TitanReport") -> float:
         if self.seconds == 0:
@@ -43,7 +48,8 @@ class TitanSimulator:
                  use_scheduler: bool = True,
                  schedules: Optional[Dict[int, LoopSchedule]] = None,
                  memory_size: int = 1 << 22,
-                 max_steps: int = 50_000_000):
+                 max_steps: int = 50_000_000,
+                 profile: bool = False):
         self.program = program
         self.config = config or TitanConfig()
         if schedules is None:
@@ -52,7 +58,10 @@ class TitanSimulator:
         elif not use_scheduler:
             schedules = {}
         self.schedules = schedules
-        self.cost_model = TitanCostModel(self.config, schedules)
+        self.profiler = HotLoopProfiler(collect_loop_info(program)) \
+            if profile else None
+        self.cost_model = TitanCostModel(self.config, schedules,
+                                         profiler=self.profiler)
         self.interpreter = Interpreter(program,
                                        memory_size=memory_size,
                                        max_steps=max_steps,
@@ -75,14 +84,18 @@ class TitanSimulator:
     def run(self, entry: str = "main", *args: Value) -> TitanReport:
         result = self.interpreter.run(entry, *args)
         model = self.cost_model
+        profile = self.profiler.report(model.cycles) \
+            if self.profiler is not None else None
         return TitanReport(cycles=model.cycles, seconds=model.seconds,
                            mflops=model.mflops, counters=model.counters,
                            result=result,
-                           stdout=self.interpreter.stdout)
+                           stdout=self.interpreter.stdout,
+                           profile=profile)
 
 
 def simulate(program: N.ILProgram, entry: str = "main",
              config: Optional[TitanConfig] = None,
-             use_scheduler: bool = True, *args: Value) -> TitanReport:
-    return TitanSimulator(program, config,
-                          use_scheduler=use_scheduler).run(entry, *args)
+             use_scheduler: bool = True, profile: bool = False,
+             *args: Value) -> TitanReport:
+    return TitanSimulator(program, config, use_scheduler=use_scheduler,
+                          profile=profile).run(entry, *args)

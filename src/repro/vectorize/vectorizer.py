@@ -36,6 +36,7 @@ from ..dependence.refs import AffineRef, parse_ref
 from ..frontend.ctypes_ import INT
 from ..frontend.symtab import Symbol, SymbolTable
 from ..il import nodes as N
+from ..obs.remarks import RemarkCollector
 from ..opt import utils
 from ..opt.fold import const_int_value, simplify
 
@@ -80,11 +81,26 @@ class VectorizeStats:
 
 
 class Vectorizer:
+    REJECT_MESSAGES = {
+        "not-normalized": "loop is not in normalized form "
+                          "(lower bound 0, step 1)",
+        "control-flow": "loop body contains control flow "
+                        "(if / nested loop); distribution needs a "
+                        "straight-line body",
+        "irregular-flow": "loop body contains goto/label/return",
+        "call": "loop body calls a function (possible side effects)",
+        "statement-kind": "loop body contains a non-assignment "
+                          "statement",
+        "volatile": "loop body references a volatile object",
+    }
+
     def __init__(self, symtab: SymbolTable,
-                 options: Optional[VectorizeOptions] = None):
+                 options: Optional[VectorizeOptions] = None,
+                 remarks: Optional[RemarkCollector] = None):
         self.symtab = symtab
         self.options = options or VectorizeOptions()
         self.stats = VectorizeStats()
+        self.remarks = remarks
 
     def run(self, fn: N.ILFunction) -> VectorizeStats:
         self._fn = fn
@@ -116,6 +132,8 @@ class Vectorizer:
                 if self._try_parallel_only(loop, policy):
                     return
             self.stats.reject(loop.sid, reason)
+            self._remark_missed(loop, reason,
+                                self.REJECT_MESSAGES[reason])
             return
         self._forward_local_scalars(loop, policy)
         graph = DependenceGraph(loop, policy)
@@ -149,6 +167,8 @@ class Vectorizer:
                                                 graph=graph):
                 return
             self.stats.reject(loop.sid, "recurrence")
+            self._remark_missed(loop, "recurrence",
+                                self._describe_recurrence(body, graph))
             return
         replacement = self._codegen(loop, plan, graph)
         utils.replace_stmt(owner, loop, replacement)
@@ -165,6 +185,51 @@ class Vectorizer:
         self.stats.outcomes.append(LoopOutcome(
             loop_sid=loop.sid, vectorized=True, parallelized=parallel,
             vector_statements=n_vec, sequential_statements=n_seq))
+        if self.remarks is not None:
+            detail = f"{n_vec} vector statement(s), VL=" \
+                     f"{self.options.vector_length}"
+            if n_seq:
+                detail += f"; {n_seq} statement(s) stay sequential " \
+                          f"(recurrence kept in a DO loop)"
+            if parallel:
+                detail += "; strips spread across processors"
+            self.remarks.transformed(
+                "vectorize", self._fn.name,
+                f"loop vectorized: {detail}", stmt=loop,
+                vector_statements=n_vec, sequential_statements=n_seq,
+                parallel=parallel,
+                vector_length=self.options.vector_length)
+
+    # -- remark helpers ------------------------------------------------------
+
+    def _remark_missed(self, loop: N.DoLoop, reason: str,
+                       detail: str) -> None:
+        if self.remarks is not None:
+            self.remarks.missed("vectorize", self._fn.name,
+                                f"loop not vectorized: {detail}",
+                                stmt=loop, reason=reason)
+
+    @staticmethod
+    def _describe_recurrence(body: List[N.Stmt],
+                             graph: DependenceGraph) -> str:
+        """A dependence-based explanation of a cyclic component, in the
+        style of the paper's section 5 transcripts."""
+        from ..dependence.graph import ANTI_DEP
+        from ..il.printer import format_stmt
+        carried = [e for e in graph.edges
+                   if e.carried and e.kind != ANTI_DEP] \
+            or graph.carried_edges() or list(graph.edges)
+        if not carried:
+            return "dependence cycle among the loop's statements"
+        edge = carried[0]
+        stmt_text = format_stmt(body[edge.src])[0].strip().rstrip(";")
+        parts = [f"{edge.kind} dependence carried by the loop"]
+        if edge.distance is not None:
+            parts.append(f"distance {edge.distance}")
+        if edge.reason and edge.reason != "affine":
+            parts.append(f"via {edge.reason}")
+        return f"dependence cycle — {', '.join(parts)} on " \
+               f"'{stmt_text}'"
 
     # -- scalar forwarding ---------------------------------------------------
 
@@ -458,7 +523,7 @@ class Vectorizer:
                 out.append(N.DoLoop(var=seq_var,
                                     lo=N.clone_expr(loop.lo),
                                     hi=N.clone_expr(loop.hi), step=1,
-                                    body=renamed))
+                                    body=renamed, line=loop.line))
                 continue
             stmt = body[comp[0]]
             assert isinstance(stmt, N.Assign)
@@ -486,7 +551,8 @@ class Vectorizer:
         return N.VectorReduce(
             target=N.VarRef(sym=stmt.target.sym,
                             ctype=stmt.target.ctype),
-            op=op, value=value, length=N.clone_expr(length))
+            op=op, value=value, length=N.clone_expr(length),
+            line=stmt.line)
 
     def _reduce_strip_loop(self, stmt: N.Assign, loop: N.DoLoop,
                            trip_expr: N.Expr) -> N.DoLoop:
@@ -512,14 +578,16 @@ class Vectorizer:
             var=vi, lo=N.int_const(0),
             hi=simplify(N.BinOp(op="-", left=N.clone_expr(trip_expr),
                                 right=N.int_const(1), ctype=INT)),
-            step=strip, body=body, parallel=False, vector=True)
+            step=strip, body=body, parallel=False, vector=True,
+            line=stmt.line)
 
     def _vector_stmt(self, stmt: N.Assign, loop_var: Symbol,
                      start: N.Expr, length: N.Expr) -> N.VectorAssign:
         target = self._to_section(stmt.target, loop_var, start, length)
         value = self._value_to_sections(stmt.value, loop_var, start,
                                         length)
-        return N.VectorAssign(target=target, value=value)
+        return N.VectorAssign(target=target, value=value,
+                              line=stmt.line)
 
     def _to_section(self, mem: N.Mem, loop_var: Symbol, start: N.Expr,
                     length: N.Expr) -> N.Section:
@@ -568,7 +636,7 @@ class Vectorizer:
                                 right=N.int_const(1), ctype=INT)),
             step=strip, body=body,
             parallel=self.options.parallelize and all_vector,
-            vector=True)
+            vector=True, line=stmt.line)
 
     # -- parallel-only fallback ------------------------------------------------
 
@@ -605,6 +673,13 @@ class Vectorizer:
         self.stats.outcomes.append(LoopOutcome(
             loop_sid=loop.sid, vectorized=False, parallelized=True,
             reason="parallel-only"))
+        if self.remarks is not None:
+            self.remarks.transformed(
+                "vectorize", self._fn.name,
+                f"loop parallelized (not vectorized): iterations are "
+                f"independent; {len(privatizable)} scalar(s) "
+                f"privatized per iteration", stmt=loop,
+                privatized=len(privatizable))
         return True
 
     def _privatizable_scalars(self, loop: N.DoLoop) -> Set[Symbol]:
@@ -677,9 +752,10 @@ def _rename_loop_var(stmt: N.Stmt, old: Symbol, new: Symbol) -> N.Stmt:
 
 
 def vectorize_function(fn: N.ILFunction, symtab: SymbolTable,
-                       options: Optional[VectorizeOptions] = None
+                       options: Optional[VectorizeOptions] = None,
+                       remarks: Optional[RemarkCollector] = None
                        ) -> VectorizeStats:
-    return Vectorizer(symtab, options).run(fn)
+    return Vectorizer(symtab, options, remarks=remarks).run(fn)
 
 
 def _resimplify_stmt(stmt: N.Stmt) -> None:
