@@ -5,16 +5,28 @@ Each benchmark regenerates one of the paper's quantitative claims
 Benches print paper-vs-measured rows and assert the *shape* — who wins
 and by roughly what factor — not the absolute numbers, since our
 substrate is a simulator rather than Titan hardware.
+
+Every simulated run can also be *recorded*: ``compile_and_simulate(...,
+record="e2_daxpy/full")`` appends the run's metrics (cycles, MFLOPS,
+vectorized-loop count, hottest-loop attribution) to
+``BENCH_<name>.json`` under :func:`bench_dir`.  The metrics are fully
+deterministic (the simulator is), so the JSON files double as committed
+baselines for ``benchmarks/regress.py`` — the CI regression gate.
 """
 
 from __future__ import annotations
 
+import json
+import os
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 from repro.pipeline import CompilationResult, CompilerOptions, compile_c
 from repro.titan.config import TitanConfig
 from repro.titan.simulator import TitanReport, TitanSimulator
+
+#: Version of the BENCH_*.json document shape.
+BENCH_SCHEMA = "titancc-bench/1"
 
 O0 = CompilerOptions(inline=False, scalar_opt=False, vectorize=False,
                      reg_pipeline=False, strength_reduction=False)
@@ -23,13 +35,75 @@ SCALAR_OPT_ONLY = CompilerOptions(vectorize=False, reg_pipeline=False,
 FULL = CompilerOptions()
 
 
+def bench_dir() -> str:
+    """Where BENCH_*.json telemetry lands.  Overridable so CI and the
+    regression gate can point at a scratch directory."""
+    return os.environ.get(
+        "TITANCC_BENCH_DIR",
+        os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                     "out"))
+
+
+def record_bench(name: str, variant: str,
+                 report: Optional[TitanReport] = None,
+                 result: Optional[CompilationResult] = None,
+                 metrics: Optional[Dict[str, float]] = None) -> str:
+    """Merge one run's metrics into ``BENCH_<name>.json``.
+
+    The document accumulates variants (``o0``, ``full``, …) across
+    calls within one benchmark, so each file is the whole experiment.
+    Returns the path written.
+    """
+    values: Dict[str, object] = {}
+    if report is not None:
+        values.update({
+            "cycles": report.cycles,
+            "seconds": report.seconds,
+            "mflops": report.mflops,
+            "flops": report.counters.flops,
+            "vector_instructions":
+                report.counters.vector_instructions,
+        })
+        hot = hottest_loop(report)
+        if hot:
+            values["hottest_loop"] = hot
+    if result is not None:
+        values["vectorized_loops"] = sum(
+            s.loops_vectorized
+            for s in result.vectorize_stats.values())
+        values["parallelized_loops"] = sum(
+            s.loops_parallelized
+            for s in result.vectorize_stats.values())
+    if metrics:
+        values.update(metrics)
+    directory = bench_dir()
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, f"BENCH_{name}.json")
+    doc = {"schema": BENCH_SCHEMA, "name": name, "variants": {}}
+    if os.path.exists(path):
+        try:
+            with open(path) as handle:
+                existing = json.load(handle)
+            if existing.get("schema") == BENCH_SCHEMA:
+                doc = existing
+        except (OSError, ValueError):
+            pass
+    doc.setdefault("variants", {})[variant] = values
+    with open(path, "w") as handle:
+        json.dump(doc, handle, indent=1, ensure_ascii=True,
+                  sort_keys=True)
+        handle.write("\n")
+    return path
+
+
 def compile_and_simulate(source: str, entry: str,
                          options: CompilerOptions = FULL,
                          config: Optional[TitanConfig] = None,
                          arrays: Optional[Dict[str, Sequence]] = None,
                          scalars: Optional[Dict[str, float]] = None,
                          use_scheduler: Optional[bool] = None,
-                         profile: bool = False) -> TitanReport:
+                         profile: bool = False,
+                         record: Optional[str] = None) -> TitanReport:
     result = compile_c(source, options)
     if use_scheduler is None:
         use_scheduler = options.reg_pipeline \
@@ -42,7 +116,12 @@ def compile_and_simulate(source: str, entry: str,
         sim.set_global_array(name, values)
     for name, value in (scalars or {}).items():
         sim.set_global_scalar(name, value)
-    return sim.run(entry)
+    report = sim.run(entry)
+    if record:
+        bench_name, _, variant = record.partition("/")
+        record_bench(bench_name, variant or "default",
+                     report=report, result=result)
+    return report
 
 
 def hottest_loop(report: TitanReport) -> str:

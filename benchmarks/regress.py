@@ -1,0 +1,208 @@
+#!/usr/bin/env python3
+"""Benchmark regression gate over the BENCH_*.json telemetry.
+
+Compares the current run's ``BENCH_<name>.json`` documents (written by
+the benchmark suite into :func:`harness.bench_dir`, default
+``benchmarks/out``) against the committed baselines in
+``benchmarks/baselines``, metric by metric, with a direction-aware
+tolerance:
+
+* **lower is better** — ``cycles``, ``seconds``;
+* **higher is better** — ``mflops``, ``speedup*``, ``vectorized_loops``
+  and every other metric.
+
+A metric that moved in the *bad* direction by more than ``--tolerance``
+(relative, default 5%) is a regression and the gate exits non-zero —
+that is what fails CI.  Improvements and new metrics are reported but
+never fail.  ``--update`` rewrites the baselines from the current run,
+pushing each baseline's previous metrics onto a bounded ``history``
+list so the committed files form a time-series.
+
+Standard library only, runnable as a plain script::
+
+    python benchmarks/regress.py                  # gate
+    python benchmarks/regress.py --update         # accept current run
+    python benchmarks/regress.py --tolerance 0.1
+"""
+
+from __future__ import annotations
+
+import argparse
+import glob
+import json
+import os
+import sys
+from typing import Dict, Iterator, List, Tuple
+
+BENCH_SCHEMA = "titancc-bench/1"
+BASELINE_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                            "baselines")
+#: Metric-name prefixes where a *decrease* is an improvement.
+LOWER_IS_BETTER = ("cycles", "seconds")
+#: How many superseded metric snapshots --update keeps per bench.
+HISTORY_LIMIT = 20
+
+
+def default_current_dir() -> str:
+    return os.environ.get(
+        "TITANCC_BENCH_DIR",
+        os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                     "out"))
+
+
+def load_benches(directory: str) -> Dict[str, dict]:
+    """``name -> document`` for every valid BENCH_*.json in a dir."""
+    out: Dict[str, dict] = {}
+    for path in sorted(glob.glob(os.path.join(directory,
+                                              "BENCH_*.json"))):
+        try:
+            with open(path) as handle:
+                doc = json.load(handle)
+        except (OSError, ValueError) as exc:
+            print(f"regress: skipping unreadable {path}: {exc}",
+                  file=sys.stderr)
+            continue
+        if doc.get("schema") != BENCH_SCHEMA:
+            print(f"regress: skipping {path}: schema "
+                  f"{doc.get('schema')!r} != {BENCH_SCHEMA!r}",
+                  file=sys.stderr)
+            continue
+        out[doc.get("name") or os.path.basename(path)] = doc
+    return out
+
+
+def iter_metrics(doc: dict) -> Iterator[Tuple[str, str, float]]:
+    """(variant, metric, value) for every numeric metric."""
+    for variant, values in sorted((doc.get("variants") or {}).items()):
+        if not isinstance(values, dict):
+            continue
+        for metric, value in sorted(values.items()):
+            if isinstance(value, (int, float)) \
+                    and not isinstance(value, bool):
+                yield variant, metric, float(value)
+
+
+def lower_is_better(metric: str) -> bool:
+    return metric.startswith(LOWER_IS_BETTER)
+
+
+def relative_change(baseline: float, current: float) -> float:
+    """Signed relative move; positive = increased."""
+    if baseline == 0:
+        return 0.0 if current == 0 else float("inf")
+    return (current - baseline) / abs(baseline)
+
+
+def compare(baselines: Dict[str, dict], current: Dict[str, dict],
+            tolerance: float) -> List[str]:
+    """Human-readable regression lines (empty = gate passes)."""
+    regressions: List[str] = []
+    for name, base_doc in sorted(baselines.items()):
+        cur_doc = current.get(name)
+        if cur_doc is None:
+            regressions.append(f"{name}: missing from current run "
+                               f"(benchmark deleted or not run)")
+            continue
+        cur_variants = cur_doc.get("variants") or {}
+        for variant, metric, base_value in iter_metrics(base_doc):
+            cur_values = cur_variants.get(variant)
+            if cur_values is None or metric not in cur_values:
+                regressions.append(
+                    f"{name}/{variant}: metric {metric} missing "
+                    f"from current run")
+                continue
+            cur_value = float(cur_values[metric])
+            change = relative_change(base_value, cur_value)
+            bad = change > tolerance if lower_is_better(metric) \
+                else change < -tolerance
+            arrow = f"{base_value:g} -> {cur_value:g} " \
+                    f"({change * 100:+.1f}%)"
+            if bad:
+                regressions.append(
+                    f"{name}/{variant}: {metric} regressed: {arrow} "
+                    f"(tolerance {tolerance * 100:.0f}%)")
+            elif abs(change) > tolerance:
+                print(f"regress: improvement {name}/{variant} "
+                      f"{metric}: {arrow}")
+    return regressions
+
+
+def update_baselines(current: Dict[str, dict],
+                     baseline_dir: str) -> None:
+    """Accept the current run: move old metrics into each baseline's
+    ``history`` list (capped), write current values on top."""
+    os.makedirs(baseline_dir, exist_ok=True)
+    for name, doc in sorted(current.items()):
+        path = os.path.join(baseline_dir, f"BENCH_{name}.json")
+        history: List[dict] = []
+        if os.path.exists(path):
+            try:
+                with open(path) as handle:
+                    old = json.load(handle)
+                history = list(old.get("history") or [])
+                if old.get("variants"):
+                    history.append({"variants": old["variants"]})
+            except (OSError, ValueError):
+                pass
+        out = {"schema": BENCH_SCHEMA, "name": name,
+               "variants": doc.get("variants") or {},
+               "history": history[-HISTORY_LIMIT:]}
+        with open(path, "w") as handle:
+            json.dump(out, handle, indent=1, ensure_ascii=True,
+                      sort_keys=True)
+            handle.write("\n")
+        print(f"regress: baseline updated: {path}")
+
+
+def main(argv: List[str] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="benchmark telemetry regression gate")
+    parser.add_argument("--current", default=None,
+                        help="directory of the current run's "
+                             "BENCH_*.json (default: "
+                             "$TITANCC_BENCH_DIR or benchmarks/out)")
+    parser.add_argument("--baselines", default=BASELINE_DIR,
+                        help="committed baseline directory")
+    parser.add_argument("--tolerance", type=float, default=0.05,
+                        help="relative tolerance before a bad-"
+                             "direction move fails (default 0.05)")
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite baselines from the current run "
+                             "(previous metrics kept in history)")
+    args = parser.parse_args(argv)
+
+    current_dir = args.current or default_current_dir()
+    current = load_benches(current_dir)
+    if not current:
+        print(f"regress: no BENCH_*.json found in {current_dir}; "
+              f"run the benchmark suite first "
+              f"(PYTHONPATH=src python -m pytest benchmarks)",
+              file=sys.stderr)
+        return 2
+
+    if args.update:
+        update_baselines(current, args.baselines)
+        return 0
+
+    baselines = load_benches(args.baselines)
+    if not baselines:
+        print(f"regress: no baselines in {args.baselines}; "
+              f"run with --update to create them", file=sys.stderr)
+        return 2
+
+    regressions = compare(baselines, current, args.tolerance)
+    checked = sum(1 for doc in baselines.values()
+                  for _ in iter_metrics(doc))
+    if regressions:
+        print(f"regress: {len(regressions)} regression(s) across "
+              f"{checked} checked metric(s):", file=sys.stderr)
+        for line in regressions:
+            print(f"  FAIL {line}", file=sys.stderr)
+        return 1
+    print(f"regress: OK — {checked} metric(s) within "
+          f"{args.tolerance * 100:.0f}% of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

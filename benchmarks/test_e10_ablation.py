@@ -7,7 +7,8 @@ a time on the backsolve loop and reports each one's contribution to the
 0.5 → 1.9 MFLOPS journey.
 """
 
-from harness import Row, compile_and_simulate, print_table
+from harness import (Row, compile_and_simulate, print_table,
+                     record_bench)
 from repro.pipeline import CompilerOptions
 from repro.workloads.stencils import backsolve
 
@@ -50,6 +51,9 @@ def test_e10_each_optimization_contributes(benchmark):
                          zip(mflops, mflops[1:])) else "no",
             all(b >= a * 0.99 for a, b in zip(mflops, mflops[1:]))),
     ]
+    record_bench("e10_ablation", "ladder",
+                 metrics={"scalar_mflops": mflops[0],
+                          "full_mflops": mflops[-1]})
     print_table("E10: ablation summary", rows)
     assert all(r.ok for r in rows)
 

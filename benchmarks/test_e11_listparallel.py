@@ -11,7 +11,7 @@ list loops gain from multiple processors once per-node work outweighs
 the serial pointer chase.
 """
 
-from harness import Row, print_table
+from harness import Row, print_table, record_bench
 from repro.pipeline import CompilerOptions, compile_c
 from repro.titan.config import TitanConfig
 from repro.titan.simulator import TitanSimulator
@@ -71,6 +71,8 @@ def test_e11_list_loops_gain_from_processors(benchmark):
             "overhead only", f"{serial / one_cpu:.2f}x",
             serial / one_cpu <= 1.05),
     ]
+    record_bench("e11_listparallel", "work6",
+                 metrics={"speedup_4cpu": serial / parallel})
     print_table("E11: section 10 list parallelization", rows)
     assert all(r.ok for r in rows)
 

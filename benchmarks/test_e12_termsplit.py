@@ -11,7 +11,7 @@ measures the predicted effect: the work of a search-terminated loop
 runs at vector speed, with only the chase left serial.
 """
 
-from harness import Row, print_table
+from harness import Row, print_table, record_bench
 from repro.pipeline import CompilerOptions, compile_c
 from repro.titan.config import TitanConfig
 from repro.titan.simulator import TitanSimulator
@@ -52,6 +52,8 @@ def test_e12_search_loop_speedup(benchmark):
             "vector-speed work + serial chase",
             f"{speedup:.1f}x", speedup > 1.5),
     ]
+    record_bench("e12_termsplit", "search",
+                 metrics={"speedup": speedup})
     print_table("E12: section 5.2 termination splitting", rows)
     assert all(r.ok for r in rows)
 

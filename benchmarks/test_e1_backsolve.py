@@ -8,7 +8,7 @@ loop."
 """
 
 from harness import (FULL, Row, SCALAR_OPT_ONLY, compile_and_simulate,
-                     hottest_loop, print_table)
+                     hottest_loop, print_table, record_bench)
 from repro.workloads.stencils import backsolve
 
 N = 512
@@ -22,19 +22,23 @@ def _data():
     }
 
 
-def _measure(options, use_scheduler, profile=False):
+def _measure(options, use_scheduler, profile=False, record=None):
     return compile_and_simulate(backsolve(N), "backsolve",
                                 options=options,
                                 arrays=_data(), scalars={"n": N},
                                 use_scheduler=use_scheduler,
-                                profile=profile)
+                                profile=profile, record=record)
 
 
 def test_e1_backsolve_mflops(benchmark):
-    scalar = _measure(SCALAR_OPT_ONLY, use_scheduler=False)
+    scalar = _measure(SCALAR_OPT_ONLY, use_scheduler=False,
+                      record="e1_backsolve/scalar")
     optimized = benchmark(lambda: _measure(FULL, use_scheduler=True,
-                                           profile=True))
+                                           profile=True,
+                                           record="e1_backsolve/full"))
     ratio = optimized.speedup_over(scalar)
+    record_bench("e1_backsolve", "summary",
+                 metrics={"speedup": ratio})
 
     rows = [
         Row("scalar-only MFLOPS", "0.5",

@@ -4,26 +4,30 @@
 scalar version of the same routine."
 """
 
-from harness import FULL, O0, Row, compile_and_simulate, print_table
+from harness import (FULL, O0, Row, compile_and_simulate,
+                     print_table, record_bench)
 from repro.titan.config import TitanConfig
 from repro.workloads import blas
 
 N = 2048
 
 
-def _measure(options, processors, use_scheduler):
+def _measure(options, processors, use_scheduler, record=None):
     return compile_and_simulate(
         blas.caller_program(n=N), "bench", options=options,
         config=TitanConfig(processors=processors),
         arrays={"b": [1.0] * N, "c": [2.0] * N},
-        use_scheduler=use_scheduler)
+        use_scheduler=use_scheduler, record=record)
 
 
 def test_e2_daxpy_two_processor_speedup(benchmark):
-    scalar = _measure(O0, processors=2, use_scheduler=False)
+    scalar = _measure(O0, processors=2, use_scheduler=False,
+                      record="e2_daxpy/o0")
     optimized = benchmark(
-        lambda: _measure(FULL, processors=2, use_scheduler=True))
+        lambda: _measure(FULL, processors=2, use_scheduler=True,
+                         record="e2_daxpy/full"))
     speedup = optimized.speedup_over(scalar)
+    record_bench("e2_daxpy", "summary", metrics={"speedup": speedup})
     rows = [
         Row("vector+parallel vs scalar (2 CPUs)", "12x",
             f"{speedup:.1f}x", 8 <= speedup <= 16),

@@ -6,6 +6,7 @@ checks the structural landmarks of each printed form.
 
 import pytest
 
+from harness import record_bench
 from repro.pipeline import CompilerOptions, TitanCompiler
 
 DAXPY_MAIN = """
@@ -37,7 +38,10 @@ EXPECTED_LANDMARKS = {
 
 def _compile_with_stages():
     compiler = TitanCompiler(CompilerOptions(dump_stages=True))
-    return compiler.compile(DAXPY_MAIN)
+    result = compiler.compile(DAXPY_MAIN)
+    record_bench("e3_stages", "full", result=result,
+                 metrics={"stages": len(result.stages)})
+    return result
 
 
 @pytest.mark.parametrize("stage", sorted(EXPECTED_LANDMARKS))

@@ -8,7 +8,7 @@ this bench reports achieved coverage and checks the strict-mode
 ablation.
 """
 
-from harness import Row, print_table
+from harness import Row, print_table, record_bench
 from repro.frontend.lower import compile_to_il
 from repro.opt.while_to_do import convert_while_loops
 from repro.workloads.idioms import IDIOMS, convertible_count
@@ -40,6 +40,9 @@ def test_e4_conversion_coverage(benchmark):
             "all", f"{hits - achieved}/{len(IDIOMS) - eligible}",
             hits == len(IDIOMS)),
     ]
+    record_bench("e4_whiledo", "coverage",
+                 metrics={"converted": achieved,
+                          "eligible": eligible})
     print_table("E4: while->DO conversion coverage", rows)
     print("\nper-idiom results:")
     for idiom in IDIOMS:

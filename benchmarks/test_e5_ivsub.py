@@ -7,7 +7,7 @@ requires the same simple pass over the loop that is needed in the
 straightforward algorithm."
 """
 
-from harness import Row, print_table
+from harness import Row, print_table, record_bench
 from repro.frontend.lower import compile_to_il
 from repro.opt.ivsub import InductionVariableSubstitution
 from repro.opt.while_to_do import convert_while_loops
@@ -81,6 +81,8 @@ def test_e5_average_case_one_pass(benchmark):
         Row("loops processed", "-", str(total_loops),
             total_loops == len(PRACTICAL_LOOPS)),
     ]
+    record_bench("e5_ivsub", "practical",
+                 metrics={"avg_sweeps": avg, "loops": total_loops})
     print_table("E5: IV-substitution backtracking cost", rows)
     for (name, _), stats in zip(PRACTICAL_LOOPS, all_stats):
         print(f"  {name:14s} sweeps={stats.sweeps} "

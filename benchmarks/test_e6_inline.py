@@ -9,7 +9,7 @@ with inlining on and off, including the cross-file procedure-database
 path.
 """
 
-from harness import Row, print_table
+from harness import Row, print_table, record_bench
 from repro.frontend.lower import compile_to_il
 from repro.inline.database import InlineDatabase
 from repro.pipeline import CompilerOptions, compile_c
@@ -53,6 +53,9 @@ def test_e6_inlining_unlocks_vectorization(benchmark):
             "4 (all four calls)", str(with_inline),
             with_inline == 4),
     ]
+    record_bench("e6_inline", "coverage",
+                 metrics={"vectorized_with_inline": with_inline,
+                          "vectorized_without": without})
     print_table("E6: inlining -> vectorization", rows)
     assert all(r.ok for r in rows)
 

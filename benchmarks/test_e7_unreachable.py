@@ -10,7 +10,7 @@ requires less compile time."
 
 import time
 
-from harness import Row, print_table
+from harness import Row, print_table, record_bench
 from repro.frontend.lower import compile_to_il
 from repro.inline.inliner import inline_program
 from repro.opt.constprop import propagate_constants
@@ -88,6 +88,9 @@ def test_e7_heuristic_removes_almost_all(benchmark):
         Row("fraction removed by the heuristic", "almost all",
             f"{removed_frac * 100:.0f}%", removed_frac >= 0.9),
     ]
+    record_bench("e7_unreachable", "heuristic",
+                 metrics={"removed_fraction": removed_frac,
+                          "exposed": before})
     print_table("E7: unreachable-code heuristic completeness", rows)
     assert all(r.ok for r in rows)
 

@@ -10,7 +10,7 @@ enough that a strip loop is not required is very important"
 """
 
 from harness import (FULL, Row, SCALAR_OPT_ONLY, compile_and_simulate,
-                     print_table)
+                     print_table, record_bench)
 from repro.il import nodes as N
 from repro.pipeline import CompilerOptions, compile_c
 
@@ -52,6 +52,9 @@ def test_e8_speedup_grows_with_trip_count(benchmark):
         Row("speedup at n=4", "modest (startup)",
             f"{ratios[0]:.2f}x", ratios[0] < ratios[-1] / 2),
     ]
+    record_bench("e8_crossover", "shape",
+                 metrics={f"speedup_n{n}": ratio
+                          for n, ratio in zip(sizes, ratios)})
     print_table("E8: crossover shape", rows)
     assert all(r.ok for r in rows)
 

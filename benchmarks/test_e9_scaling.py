@@ -7,7 +7,8 @@ bench sweeps 1–4 and checks near-linear scaling minus fork/join
 startup, plus the non-scaling of serial (recurrence) loops.
 """
 
-from harness import FULL, Row, compile_and_simulate, print_table
+from harness import (FULL, Row, compile_and_simulate, print_table,
+                     record_bench)
 from repro.titan.config import TitanConfig
 from repro.workloads import blas, stencils
 
@@ -40,6 +41,9 @@ def test_e9_parallel_scaling(benchmark):
             else "no",
             times[1] > times[2] > times[3] > times[4]),
     ]
+    record_bench("e9_scaling", "daxpy",
+                 metrics={"speedup_2cpu": s2, "speedup_4cpu": s4,
+                          "seconds_1cpu": times[1]})
     print_table("E9: processor scaling", rows)
     assert all(r.ok for r in rows)
 

@@ -1,0 +1,31 @@
+/* Back substitution (the paper's figure 4 shape): the outer loop
+ * carries a recurrence (each x[i] depends on later x values), so it
+ * stays serial; the inner dot-product loop vectorizes as a
+ * reduction.  A good `--dump-deps` demo: the serial loop's graph has
+ * a bold red carried true edge. */
+
+double U[64][64];
+double b[64], x[64];
+
+void backsolve() {
+    int i, j;
+    double s;
+    for (i = 63; i >= 0; i--) {
+        s = 0.0;
+        for (j = i + 1; j < 64; j++)
+            s = s + U[i][j] * x[j];
+        x[i] = (b[i] - s) / U[i][i];
+    }
+}
+
+int main() {
+    int i, j;
+    for (i = 0; i < 64; i++) {
+        b[i] = 1.0 + i;
+        x[i] = 0.0;
+        for (j = 0; j < 64; j++)
+            U[i][j] = (i == j) ? 2.0 : (j > i ? 0.5 : 0.0);
+    }
+    backsolve();
+    return (int)(x[0]);
+}

@@ -1,0 +1,33 @@
+/* The paper's running example (section 2): daxpy over global
+ * arrays, plus a dot-product reduction.  Constant trip counts so
+ * `titancc examples/daxpy.c --report-json r.json` gets concrete
+ * static Titan estimates without --run. */
+
+double X[400], Y[400];
+double a;
+
+void daxpy() {
+    int i;
+    for (i = 0; i < 400; i++)
+        Y[i] = Y[i] + a * X[i];
+}
+
+double ddot() {
+    double s;
+    int i;
+    s = 0.0;
+    for (i = 0; i < 400; i++)
+        s = s + X[i] * Y[i];
+    return s;
+}
+
+int main() {
+    int i;
+    a = 2.0;
+    for (i = 0; i < 400; i++) {
+        X[i] = 1.0;
+        Y[i] = 3.0;
+    }
+    daxpy();
+    return (int)(ddot());
+}

@@ -12,17 +12,21 @@ Usage examples::
     titancc file.c --remarks              # why did each loop (not) vectorize?
     titancc file.c --trace-json t.json    # per-phase Chrome trace
     titancc file.c --run main --profile   # hot-loop cycle attribution
+    titancc file.c --report-json r.json   # full machine-readable report
+    titancc file.c --dump-deps deps/      # dependence graphs (DOT+JSON)
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
 from .frontend.lower import compile_to_il
 from .il.printer import format_program
 from .inline.database import InlineDatabase
+from .obs.report import CompilationReport
 from .pipeline import CompilerOptions, TitanCompiler
 from .titan.config import TitanConfig
 from .titan.simulator import TitanSimulator
@@ -79,6 +83,18 @@ def build_arg_parser() -> argparse.ArgumentParser:
     parser.add_argument("--profile", action="store_true",
                         help="with --run: attribute simulated cycles "
                              "to the hottest loops and functions")
+    parser.add_argument("--report-json", metavar="PATH",
+                        help="write the full compilation report "
+                             "(counters, remarks, per-loop coverage, "
+                             "dependence graphs, Titan utilization) "
+                             "as schema-versioned JSON")
+    parser.add_argument("--dump-deps", metavar="DIR",
+                        help="write each innermost loop's dependence "
+                             "graph to DIR as <function>_L<line>.dot "
+                             "and .json")
+    parser.add_argument("--print-lines", action="store_true",
+                        help="annotate printed IL statements with "
+                             "their C source lines")
     return parser
 
 
@@ -96,6 +112,7 @@ def options_from_args(args: argparse.Namespace) -> CompilerOptions:
         vector_length=args.vector_length,
         processors=args.processors,
         dump_stages=args.dump_stages,
+        collect_deps=bool(args.report_json or args.dump_deps),
     )
 
 
@@ -143,38 +160,51 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(dump.text)
             print()
     else:
-        print(format_program(result.program))
+        print(format_program(result.program,
+                             show_lines=args.print_lines))
 
-    if args.stats:
-        print("\n/* pass statistics */", file=sys.stderr)
-        if result.inline_stats:
-            print(f"inline: {result.inline_stats}", file=sys.stderr)
-        for name in result.program.functions:
-            for label, store in (
-                    ("while->do", result.while_to_do_stats),
-                    ("ivsub", result.ivsub_stats),
-                    ("constprop", result.constprop_stats),
-                    ("dce", result.dce_stats),
-                    ("vectorize", result.vectorize_stats)):
-                if name in store:
-                    print(f"{name}.{label}: {store[name]}",
-                          file=sys.stderr)
+    if args.dump_deps:
+        os.makedirs(args.dump_deps, exist_ok=True)
+        for graph in result.dep_graphs:
+            base = os.path.join(args.dump_deps, graph.slug)
+            with open(base + ".dot", "w") as handle:
+                handle.write(graph.to_dot() + "\n")
+            with open(base + ".json", "w") as handle:
+                import json as _json
+                handle.write(_json.dumps(graph.to_json(), indent=1,
+                                         ensure_ascii=True))
+        print(f"titancc: wrote {len(result.dep_graphs)} dependence "
+              f"graph(s) to {args.dump_deps}", file=sys.stderr)
 
+    config = TitanConfig(processors=args.processors,
+                         max_vector_length=args.vector_length)
+    sim_report = None
     if args.run:
-        config = TitanConfig(processors=args.processors,
-                             max_vector_length=args.vector_length)
         simulator = TitanSimulator(result.program, config,
                                    schedules=result.schedules or None,
                                    profile=args.profile)
-        report = simulator.run(args.run)
-        if report.stdout:
-            sys.stdout.write(report.stdout)
-        print(f"\n/* simulated: {report.cycles:.0f} cycles, "
-              f"{report.seconds * 1e3:.3f} ms, "
-              f"{report.mflops:.2f} MFLOPS, "
-              f"result={report.result} */")
-        if args.profile and report.profile is not None:
-            print(report.profile.format(), file=sys.stderr)
+        sim_report = simulator.run(args.run)
+        if sim_report.stdout:
+            sys.stdout.write(sim_report.stdout)
+        print(f"\n/* simulated: {sim_report.cycles:.0f} cycles, "
+              f"{sim_report.seconds * 1e3:.3f} ms, "
+              f"{sim_report.mflops:.2f} MFLOPS, "
+              f"result={sim_report.result} */")
+        if args.profile and sim_report.profile is not None:
+            print(sim_report.profile.format(), file=sys.stderr)
+
+    # The report embeds everything above (counters, remarks, coverage,
+    # dependence graphs, trace, simulation), so it is assembled last.
+    report = CompilationReport.from_result(result, filename=args.source,
+                                           titan_report=sim_report,
+                                           config=config)
+    if args.stats:
+        print("\n" + report.format_stats(), file=sys.stderr)
+
+    if args.report_json:
+        report.write(args.report_json)
+        print(f"titancc: wrote compilation report to "
+              f"{args.report_json}", file=sys.stderr)
 
     if args.trace_json:
         result.trace.write(args.trace_json)

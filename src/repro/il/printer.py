@@ -60,7 +60,11 @@ def format_expr(expr: N.Expr, parent_prec: int = 0) -> str:
     raise TypeError(f"unknown expression {expr!r}")
 
 
-def format_stmt(stmt: N.Stmt, indent: int = 0) -> List[str]:
+def format_stmt(stmt: N.Stmt, indent: int = 0,
+                show_lines: bool = False) -> List[str]:
+    """Render one statement.  ``show_lines`` appends ``/* L<n> */``
+    source-line annotations (``--print-lines``); the default output is
+    byte-identical to the golden transcripts."""
     pad = "    " * indent
     out: List[str] = []
     if isinstance(stmt, N.Assign):
@@ -79,16 +83,16 @@ def format_stmt(stmt: N.Stmt, indent: int = 0) -> List[str]:
     elif isinstance(stmt, N.IfStmt):
         out.append(f"{pad}if ({format_expr(stmt.cond)}) {{")
         for s in stmt.then:
-            out.extend(format_stmt(s, indent + 1))
+            out.extend(format_stmt(s, indent + 1, show_lines))
         if stmt.otherwise:
             out.append(f"{pad}}} else {{")
             for s in stmt.otherwise:
-                out.extend(format_stmt(s, indent + 1))
+                out.extend(format_stmt(s, indent + 1, show_lines))
         out.append(f"{pad}}}")
     elif isinstance(stmt, N.WhileLoop):
         out.append(f"{pad}while ({format_expr(stmt.cond)}) {{")
         for s in stmt.body:
-            out.extend(format_stmt(s, indent + 1))
+            out.extend(format_stmt(s, indent + 1, show_lines))
         out.append(f"{pad}}}")
     elif isinstance(stmt, N.DoLoop):
         kind = "do parallel" if stmt.parallel else "do fortran"
@@ -96,15 +100,15 @@ def format_stmt(stmt: N.Stmt, indent: int = 0) -> List[str]:
                    f"{format_expr(stmt.lo)}, {format_expr(stmt.hi)}, "
                    f"{stmt.step} {{")
         for s in stmt.body:
-            out.extend(format_stmt(s, indent + 1))
+            out.extend(format_stmt(s, indent + 1, show_lines))
         out.append(f"{pad}}}")
     elif isinstance(stmt, N.ListParallelLoop):
         out.append(f"{pad}do parallel-list {stmt.ptr.name} {{")
         for s in stmt.body:
-            out.extend(format_stmt(s, indent + 1))
+            out.extend(format_stmt(s, indent + 1, show_lines))
         out.append(f"{pad}}} advance {{")
         for s in stmt.advance:
-            out.extend(format_stmt(s, indent + 1))
+            out.extend(format_stmt(s, indent + 1, show_lines))
         out.append(f"{pad}}}")
     elif isinstance(stmt, N.Goto):
         out.append(f"{pad}goto {stmt.label};")
@@ -117,22 +121,25 @@ def format_stmt(stmt: N.Stmt, indent: int = 0) -> List[str]:
             out.append(f"{pad}return {format_expr(stmt.value)};")
     else:
         raise TypeError(f"unknown statement {stmt!r}")
+    if show_lines and stmt.line:
+        out[0] += f"   /* L{stmt.line} */"
     return out
 
 
-def format_function(fn: N.ILFunction) -> str:
+def format_function(fn: N.ILFunction, show_lines: bool = False) -> str:
     params = ", ".join(f"{p.ctype} {p.name}" for p in fn.params)
     lines = [f"{fn.ret_type} {fn.name}({params})", "{"]
     for stmt in fn.body:
-        lines.extend(format_stmt(stmt, 1))
+        lines.extend(format_stmt(stmt, 1, show_lines))
     lines.append("}")
     return "\n".join(lines)
 
 
-def format_program(program: N.ILProgram) -> str:
+def format_program(program: N.ILProgram,
+                   show_lines: bool = False) -> str:
     parts = []
     for g in program.globals:
         parts.append(f"{g.sym.ctype} {g.sym.name};")
     for fn in program.functions.values():
-        parts.append(format_function(fn))
+        parts.append(format_function(fn, show_lines))
     return "\n\n".join(parts)

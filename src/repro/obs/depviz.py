@@ -1,0 +1,163 @@
+"""Dependence-graph export — DOT and JSON per loop nest.
+
+The dependence graph is the paper's central data structure: it decides
+what vectorizes (§5), what parallelizes (§9), and how residual serial
+loops schedule (§6).  This module snapshots the graph exactly as the
+vectorizer first sees each innermost loop and renders it two ways:
+
+* **DOT** (``--dump-deps DIR`` writes ``<function>_L<line>.dot``) for
+  Graphviz / quick visual debugging of "why didn't this vectorize";
+* **JSON** (same basename ``.json``, and embedded in the
+  ``--report-json`` document) for tooling and tests.
+
+Edges carry the dependence kind (true/anti/output), the one-level
+direction vector (``<`` carried, ``=`` loop-independent), the constant
+distance when known, and the analysis reason (``affine``,
+``may-alias``, ``scalar x``, ``call``).  Carried edges draw bold red —
+they are what keeps a loop out of vector form.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..dependence.graph import AliasPolicy, DependenceGraph
+from ..il import nodes as N
+from ..il.printer import format_stmt
+from ..opt import utils
+
+
+def _dot_escape(text: str) -> str:
+    """Escape a string for use inside a double-quoted DOT label."""
+    return (text.replace("\\", "\\\\").replace('"', '\\"')
+            .replace("\n", "\\n"))
+
+
+def stmt_summary(stmt: N.Stmt) -> str:
+    """One-line rendering of a statement for node labels."""
+    lines = format_stmt(stmt)
+    text = lines[0].strip()
+    if len(lines) > 1:
+        text += " ..."
+    return text
+
+
+@dataclass
+class LoopDepExport:
+    """One loop's dependence graph, ready for DOT/JSON rendering."""
+
+    function: str
+    line: int
+    sid: int
+    var: str
+    normalized: bool
+    nodes: List[Dict[str, object]] = field(default_factory=list)
+    edges: List[Dict[str, object]] = field(default_factory=list)
+
+    @property
+    def slug(self) -> str:
+        """Filename-friendly identity, e.g. ``daxpy_L6``."""
+        return f"{self.function}_L{self.line}" if self.line \
+            else f"{self.function}_S{self.sid}"
+
+    def carried_edges(self) -> List[Dict[str, object]]:
+        return [e for e in self.edges if e["carried"]]
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "function": self.function,
+            "line": self.line,
+            "var": self.var,
+            "normalized": self.normalized,
+            "nodes": list(self.nodes),
+            "edges": list(self.edges),
+        }
+
+    def to_dot(self) -> str:
+        title = f"{self.function}:{self.line}" if self.line \
+            else self.function
+        lines = [
+            f'digraph "{_dot_escape(title)}" {{',
+            f'    label="dependence graph: {_dot_escape(title)} '
+            f'loop ({_dot_escape(self.var)})";',
+            '    node [shape=box, fontname="monospace"];',
+        ]
+        for node in self.nodes:
+            label = f"{node['index']}: {node['text']}"
+            if node.get("line"):
+                label += f"  (L{node['line']})"
+            lines.append(f'    s{node["index"]} '
+                         f'[label="{_dot_escape(label)}"];')
+        for edge in self.edges:
+            label = f"{edge['kind']} ({edge['direction']}"
+            if edge["distance"] is not None:
+                label += f",{edge['distance']}"
+            label += ")"
+            if edge["reason"] and edge["reason"] != "affine":
+                label += f" {edge['reason']}"
+            style = ", color=red, style=bold" if edge["carried"] else ""
+            lines.append(f'    s{edge["src"]} -> s{edge["dst"]} '
+                         f'[label="{_dot_escape(label)}"{style}];')
+        lines.append("}")
+        return "\n".join(lines)
+
+
+def export_graph(loop: N.DoLoop, graph: DependenceGraph,
+                 function: str) -> LoopDepExport:
+    """Render one built dependence graph for export."""
+    out = LoopDepExport(
+        function=function, line=loop.line, sid=loop.sid,
+        var=loop.var.name,
+        normalized=bool(N.is_const(loop.lo, 0) and loop.step == 1))
+    for index, stmt in enumerate(loop.body):
+        out.nodes.append({"index": index,
+                          "text": stmt_summary(stmt),
+                          "line": stmt.line})
+    for edge in graph.edges:
+        out.edges.append({
+            "src": edge.src,
+            "dst": edge.dst,
+            "kind": edge.kind,
+            "carried": edge.carried,
+            "direction": "<" if edge.carried else "=",
+            "distance": edge.distance,
+            "reason": edge.reason,
+        })
+    return out
+
+
+def _innermost_do_loops(fn: N.ILFunction):
+    found = []
+
+    def visit(loop: N.Stmt, owner, index) -> None:
+        if not isinstance(loop, N.DoLoop):
+            return
+        if loop.vector or loop.parallel:
+            return
+        if any(isinstance(s, (N.DoLoop, N.WhileLoop,
+                              N.ListParallelLoop))
+               for s in N.walk_statements(loop.body)):
+            return
+        found.append(loop)
+
+    utils.for_each_loop(fn.body, visit)
+    return found
+
+
+def collect_program_graphs(program: N.ILProgram,
+                           policy: Optional[AliasPolicy] = None
+                           ) -> List[LoopDepExport]:
+    """Build and export the dependence graph of every innermost DO
+    loop in the program, under the given alias policy (the same graph
+    the vectorizer will consult)."""
+    out: List[LoopDepExport] = []
+    for name, fn in program.functions.items():
+        for loop in _innermost_do_loops(fn):
+            loop_policy = policy or AliasPolicy()
+            if "safe" in loop.pragmas or "vector" in loop.pragmas \
+                    or "safe" in fn.pragmas:
+                loop_policy = AliasPolicy(assume_no_alias=True)
+            graph = DependenceGraph(loop, loop_policy)
+            out.append(export_graph(loop, graph, name))
+    return out

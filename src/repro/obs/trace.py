@@ -23,6 +23,31 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional
 
 
+def jsonable(value):
+    """Coerce an arbitrary value into something ``json.dumps`` accepts.
+
+    Span and remark ``args`` are open dictionaries — a pass may attach
+    a stats object, a symbol, or an identifier containing quotes or
+    non-ASCII characters.  Primitives pass through; containers recurse
+    with keys stringified; everything else becomes ``str(value)``.
+    Combined with ``ensure_ascii`` at dump time this guarantees every
+    emitted artifact is valid, 7-bit-clean JSON.
+    """
+    if value is None or isinstance(value, (bool, int, str)):
+        return value
+    if isinstance(value, float):
+        # Bare NaN/Infinity are not valid JSON (json.loads accepts
+        # them, but external consumers often do not).
+        if value != value or value in (float("inf"), float("-inf")):
+            return repr(value)
+        return value
+    if isinstance(value, dict):
+        return {str(k): jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return [jsonable(v) for v in value]
+    return str(value)
+
+
 @dataclass
 class TraceEvent:
     """One complete ("X") Chrome trace event."""
@@ -36,7 +61,7 @@ class TraceEvent:
     def to_chrome(self, pid: int, tid: int = 1) -> Dict[str, object]:
         return {"name": self.name, "cat": self.cat, "ph": "X",
                 "ts": self.start_us, "dur": self.duration_us,
-                "pid": pid, "tid": tid, "args": dict(self.args)}
+                "pid": pid, "tid": tid, "args": jsonable(self.args)}
 
 
 class PassTracer:
@@ -92,7 +117,8 @@ class PassTracer:
         }
 
     def to_json(self, indent: Optional[int] = None) -> str:
-        return json.dumps(self.to_chrome(), indent=indent)
+        return json.dumps(self.to_chrome(), indent=indent,
+                          ensure_ascii=True)
 
     def write(self, path: str) -> None:
         with open(path, "w") as handle:

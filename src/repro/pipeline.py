@@ -67,6 +67,11 @@ class CompilerOptions:
     max_inline_statements: int = 500
     dump_stages: bool = False
     scalar_opt_rounds: int = 2
+    # Observability: snapshot per-loop dependence graphs right before
+    # vectorization (the graphs the Allen–Kennedy decision is made
+    # from), for --dump-deps / --report-json.  Off by default — graph
+    # construction per loop nest is pure overhead otherwise.
+    collect_deps: bool = False
 
 
 @dataclass
@@ -102,6 +107,9 @@ class CompilationResult:
     # and work spans exportable as Chrome trace JSON (--trace-json).
     remarks: RemarkCollector = field(default_factory=RemarkCollector)
     trace: PassTracer = field(default_factory=PassTracer)
+    # Pre-vectorization dependence-graph exports (LoopDepExport), one
+    # per innermost DO loop; populated when options.collect_deps.
+    dep_graphs: List[object] = field(default_factory=list)
 
     def stage_text(self, stage: str) -> str:
         for dump in self.stages:
@@ -164,6 +172,15 @@ class TitanCompiler:
                     self._scalar_round(program, result, remarks)
                     args["statements"] = _program_statements(program)
             self._dump(result, "scalar-opt")
+        if opts.collect_deps:
+            from .dependence.graph import AliasPolicy
+            from .obs.depviz import collect_program_graphs
+            with trace.span("dep-export") as args:
+                result.dep_graphs = collect_program_graphs(
+                    program,
+                    AliasPolicy(
+                        assume_no_alias=opts.fortran_pointer_semantics))
+                args["loops_exported"] = len(result.dep_graphs)
         if opts.vectorize:
             voptions = VectorizeOptions(
                 vector_length=opts.vector_length,

@@ -35,6 +35,52 @@ class OpCounters:
     parallel_loops: int = 0
 
 
+@dataclass
+class CycleBreakdown:
+    """Where the simulated cycles went — the utilization split the
+    compilation report exposes (vector vs. scalar, memory-pipe share,
+    per-chunk vector startup overhead).
+
+    Buckets mirror the charge sites exactly: ``vector_compute`` and
+    ``vector_memory`` are whole vector-instruction charges (arithmetic
+    vs. load/store pipes), of which ``vector_startup`` is the
+    pipeline-fill sub-share (one fill per MVL chunk); ``scalar`` is
+    unscheduled scalar arithmetic/branch/call latency; ``memory`` is
+    scalar load/store (and list-chase) latency; ``scheduled`` is the
+    §6 initiation-interval lump charge of software-pipelined loops;
+    ``parallel_overhead`` is fork/join startup.  Buckets sum to every
+    cycle *charged*; the report's ``parallel_adjust`` residual (total
+    minus charged) accounts for the divide-across-processors rescale
+    of parallel regions.
+    """
+
+    vector_compute: float = 0.0
+    vector_memory: float = 0.0
+    vector_startup: float = 0.0  # sub-share of the two above
+    scalar: float = 0.0
+    memory: float = 0.0
+    scheduled: float = 0.0
+    parallel_overhead: float = 0.0
+
+    def charged(self) -> float:
+        return (self.vector_compute + self.vector_memory + self.scalar
+                + self.memory + self.scheduled
+                + self.parallel_overhead)
+
+    def shares(self, total: float) -> Dict[str, float]:
+        """Named shares of ``total`` cycles (0.0 when total is 0)."""
+        if total <= 0:
+            total = 1.0
+        vector = self.vector_compute + self.vector_memory
+        return {
+            "vector_share": vector / total,
+            "scalar_share": (self.scalar + self.scheduled) / total,
+            "memory_pipe_share": (self.memory + self.vector_memory)
+            / total,
+            "vector_startup_share": self.vector_startup / total,
+        }
+
+
 class TitanCostModel:
     """A callable usable as the interpreter's ``cost_hook``."""
 
@@ -45,6 +91,7 @@ class TitanCostModel:
         self.schedules = schedules or {}
         self.cycles: float = 0.0
         self.counters = OpCounters()
+        self.breakdown = CycleBreakdown()
         # Stack of (loop_sid, iterations) for active scheduled loops.
         self._sched_stack: List[List] = []
         # Stack of (sid, cycles_at_entry) for active parallel regions.
@@ -71,9 +118,11 @@ class TitanCostModel:
     def _suppressed(self) -> bool:
         return bool(self._sched_stack)
 
-    def _charge(self, cycles: float) -> None:
+    def _charge(self, cycles: float, bucket: str = "scalar") -> None:
         if not self._suppressed:
             self.cycles += cycles
+            setattr(self.breakdown, bucket,
+                    getattr(self.breakdown, bucket) + cycles)
 
     # -- scalar operations ---------------------------------------------------
 
@@ -87,11 +136,11 @@ class TitanCostModel:
 
     def _on_load(self, ctype=None) -> None:
         self.counters.loads += 1
-        self._charge(self.config.load_latency)
+        self._charge(self.config.load_latency, "memory")
 
     def _on_store(self, ctype=None) -> None:
         self.counters.stores += 1
-        self._charge(self.config.store_latency)
+        self._charge(self.config.store_latency, "memory")
 
     def _on_branch(self) -> None:
         self.counters.branches += 1
@@ -116,7 +165,7 @@ class TitanCostModel:
             _, iters = self._sched_stack.pop()
             schedule = self.schedules[sid]
             self._charge(schedule.initiation_interval * iters
-                         + self.config.branch_cycles)
+                         + self.config.branch_cycles, "scheduled")
 
     # -- vector instructions ----------------------------------------------------
 
@@ -137,8 +186,12 @@ class TitanCostModel:
         per_element = cfg.vector_element_cycles
         if op in ("load", "store") and abs(stride) != 1:
             per_element *= cfg.vector_stride_penalty
-        self._charge(cfg.vector_startup * chunks
-                     + per_element * max(length, 0))
+        bucket = "vector_memory" if op in ("load", "store") \
+            else "vector_compute"
+        startup = cfg.vector_startup * chunks
+        self._charge(startup + per_element * max(length, 0), bucket)
+        if not self._suppressed:
+            self.breakdown.vector_startup += startup
 
     def _on_vector_reduce(self, op: str, length: int) -> None:
         """A pipelined vector reduction: startup, one element per
@@ -149,16 +202,19 @@ class TitanCostModel:
         self.counters.vector_elements += length
         self.counters.flops += length
         tail = max(1, length).bit_length() * cfg.fp_issue
-        self._charge(cfg.vector_startup * chunks
+        startup = cfg.vector_startup * chunks
+        self._charge(startup
                      + cfg.vector_element_cycles * max(length, 0)
-                     + tail)
+                     + tail, "vector_compute")
+        if not self._suppressed:
+            self.breakdown.vector_startup += startup
 
     def _on_list_chase(self, count: int = 1) -> None:
         """Serial pointer chase of a parallelized list loop: one
         dependent load plus a branch per node (it cannot pipeline —
         each address comes from the previous load)."""
         self._charge(count * (self.config.load_latency
-                              + self.config.branch_cycles))
+                              + self.config.branch_cycles), "memory")
 
     # -- parallel regions ----------------------------------------------------------
 
@@ -177,8 +233,17 @@ class TitanCostModel:
         if workers > 1:
             inner = inner / (workers * cfg.parallel_efficiency)
         self.cycles = start_cycles + cfg.parallel_startup + inner
+        self.breakdown.parallel_overhead += cfg.parallel_startup
 
     # -- reporting -------------------------------------------------------------------
+
+    @property
+    def parallel_adjust(self) -> float:
+        """Residual between total cycles and the sum of breakdown
+        buckets: the (negative) divide-across-processors rescale of
+        parallel regions.  ``breakdown.charged() + parallel_adjust ==
+        cycles`` exactly."""
+        return self.cycles - self.breakdown.charged()
 
     @property
     def seconds(self) -> float:

@@ -18,7 +18,7 @@ from ..obs.profiler import (HotLoopProfiler, ProfileReport,
                             collect_loop_info)
 from ..sched.scheduler import LoopSchedule, schedule_program
 from .config import TitanConfig
-from .cost_model import OpCounters, TitanCostModel
+from .cost_model import CycleBreakdown, OpCounters, TitanCostModel
 
 
 @dataclass
@@ -32,6 +32,11 @@ class TitanReport:
     # Per-loop / per-function cycle attribution, present when the
     # simulator was built with profile=True.
     profile: Optional[ProfileReport] = None
+    # Utilization split (vector/scalar/memory/scheduled cycles) and
+    # the parallel-rescale residual; breakdown.charged() +
+    # parallel_adjust == cycles exactly.  Always collected.
+    breakdown: Optional[CycleBreakdown] = None
+    parallel_adjust: float = 0.0
 
     def speedup_over(self, other: "TitanReport") -> float:
         if self.seconds == 0:
@@ -90,7 +95,9 @@ class TitanSimulator:
                            mflops=model.mflops, counters=model.counters,
                            result=result,
                            stdout=self.interpreter.stdout,
-                           profile=profile)
+                           profile=profile,
+                           breakdown=model.breakdown,
+                           parallel_adjust=model.parallel_adjust)
 
 
 def simulate(program: N.ILProgram, entry: str = "main",

@@ -61,6 +61,13 @@ class LoopOutcome:
     vector_statements: int = 0
     sequential_statements: int = 0
     reason: str = ""
+    # Source anchor and explanation, for the per-loop coverage table
+    # of the compilation report (--report-json).
+    line: int = 0
+    detail: str = ""
+    # For "recurrence" misses: the blocking dependence edge
+    # ({src, dst, kind, carried, distance, reason, stmt}).
+    blocking: Optional[Dict[str, object]] = None
 
 
 @dataclass
@@ -73,11 +80,15 @@ class VectorizeStats:
     rejected: Dict[str, int] = field(default_factory=dict)
     outcomes: List[LoopOutcome] = field(default_factory=list)
 
-    def reject(self, sid: int, reason: str) -> None:
+    def reject(self, sid: int, reason: str, line: int = 0,
+               detail: str = "",
+               blocking: Optional[Dict[str, object]] = None) -> None:
         self.rejected[reason] = self.rejected.get(reason, 0) + 1
         self.outcomes.append(LoopOutcome(loop_sid=sid, vectorized=False,
                                          parallelized=False,
-                                         reason=reason))
+                                         reason=reason, line=line,
+                                         detail=detail,
+                                         blocking=blocking))
 
 
 class Vectorizer:
@@ -131,7 +142,8 @@ class Vectorizer:
                     and self.options.parallelize:
                 if self._try_parallel_only(loop, policy):
                     return
-            self.stats.reject(loop.sid, reason)
+            self.stats.reject(loop.sid, reason, line=loop.line,
+                              detail=self.REJECT_MESSAGES[reason])
             self._remark_missed(loop, reason,
                                 self.REJECT_MESSAGES[reason])
             return
@@ -166,9 +178,11 @@ class Vectorizer:
                     and self._try_parallel_only(loop, policy,
                                                 graph=graph):
                 return
-            self.stats.reject(loop.sid, "recurrence")
-            self._remark_missed(loop, "recurrence",
-                                self._describe_recurrence(body, graph))
+            blocking = self._blocking_dependence(body, graph)
+            detail = self._describe_recurrence(body, graph)
+            self.stats.reject(loop.sid, "recurrence", line=loop.line,
+                              detail=detail, blocking=blocking)
+            self._remark_missed(loop, "recurrence", detail)
             return
         replacement = self._codegen(loop, plan, graph)
         utils.replace_stmt(owner, loop, replacement)
@@ -184,7 +198,8 @@ class Vectorizer:
             self.stats.loops_parallelized += 1
         self.stats.outcomes.append(LoopOutcome(
             loop_sid=loop.sid, vectorized=True, parallelized=parallel,
-            vector_statements=n_vec, sequential_statements=n_seq))
+            vector_statements=n_vec, sequential_statements=n_seq,
+            line=loop.line))
         if self.remarks is not None:
             detail = f"{n_vec} vector statement(s), VL=" \
                      f"{self.options.vector_length}"
@@ -210,18 +225,45 @@ class Vectorizer:
                                 stmt=loop, reason=reason)
 
     @staticmethod
-    def _describe_recurrence(body: List[N.Stmt],
-                             graph: DependenceGraph) -> str:
-        """A dependence-based explanation of a cyclic component, in the
-        style of the paper's section 5 transcripts."""
+    def _blocking_edge(body: List[N.Stmt], graph: DependenceGraph):
+        """The most explanatory dependence edge of a cyclic component:
+        a carried non-anti edge if any, else any carried edge, else any
+        edge at all (None on an empty graph)."""
         from ..dependence.graph import ANTI_DEP
-        from ..il.printer import format_stmt
         carried = [e for e in graph.edges
                    if e.carried and e.kind != ANTI_DEP] \
             or graph.carried_edges() or list(graph.edges)
-        if not carried:
+        return carried[0] if carried else None
+
+    @classmethod
+    def _blocking_dependence(cls, body: List[N.Stmt],
+                             graph: DependenceGraph
+                             ) -> Optional[Dict[str, object]]:
+        """Structured form of the blocking edge, for the compilation
+        report's per-loop coverage table."""
+        from ..il.printer import format_stmt
+        edge = cls._blocking_edge(body, graph)
+        if edge is None:
+            return None
+        return {
+            "src": edge.src,
+            "dst": edge.dst,
+            "kind": edge.kind,
+            "carried": edge.carried,
+            "distance": edge.distance,
+            "reason": edge.reason,
+            "stmt": format_stmt(body[edge.src])[0].strip().rstrip(";"),
+        }
+
+    @classmethod
+    def _describe_recurrence(cls, body: List[N.Stmt],
+                             graph: DependenceGraph) -> str:
+        """A dependence-based explanation of a cyclic component, in the
+        style of the paper's section 5 transcripts."""
+        edge = cls._blocking_edge(body, graph)
+        if edge is None:
             return "dependence cycle among the loop's statements"
-        edge = carried[0]
+        from ..il.printer import format_stmt
         stmt_text = format_stmt(body[edge.src])[0].strip().rstrip(";")
         parts = [f"{edge.kind} dependence carried by the loop"]
         if edge.distance is not None:
@@ -672,7 +714,7 @@ class Vectorizer:
         self.stats.loops_parallelized += 1
         self.stats.outcomes.append(LoopOutcome(
             loop_sid=loop.sid, vectorized=False, parallelized=True,
-            reason="parallel-only"))
+            reason="parallel-only", line=loop.line))
         if self.remarks is not None:
             self.remarks.transformed(
                 "vectorize", self._fn.name,

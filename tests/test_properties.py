@@ -193,8 +193,11 @@ class TestOptimizationPreservesSemantics:
 
         assert opt_result == ref_result
         for key, value in expected.items():
+            # nan_ok: a generated recurrence can overflow to inf/nan in
+            # the *reference* semantics; identical nans must compare
+            # equal rather than fail the approx check.
             assert got[key] == pytest.approx(value, rel=1e-5,
-                                             abs=1e-5), key
+                                             abs=1e-5, nan_ok=True), key
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,215 @@
+"""Tests for the benchmark telemetry (BENCH_*.json) and the
+regression gate (benchmarks/regress.py)."""
+
+import importlib.util
+import json
+import os
+import sys
+
+import pytest
+
+_BENCH_DIR = os.path.join(os.path.dirname(__file__), "..",
+                          "benchmarks")
+
+
+def _load(module_name, filename):
+    spec = importlib.util.spec_from_file_location(
+        module_name, os.path.join(_BENCH_DIR, filename))
+    module = importlib.util.module_from_spec(spec)
+    # Registered before exec: the module defines dataclasses, and
+    # dataclass construction looks its module up in sys.modules.
+    sys.modules[module_name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.fixture(scope="module")
+def regress():
+    return _load("regress", "regress.py")
+
+
+@pytest.fixture(scope="module")
+def harness():
+    # harness.py imports repro.*; conftest already puts src on the
+    # path, and it needs itself importable for dataclass pickling.
+    sys.path.insert(0, _BENCH_DIR)
+    try:
+        return _load("harness", "harness.py")
+    finally:
+        sys.path.remove(_BENCH_DIR)
+
+
+def _write_bench(directory, name, variants):
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, f"BENCH_{name}.json")
+    with open(path, "w") as handle:
+        json.dump({"schema": "titancc-bench/1", "name": name,
+                   "variants": variants}, handle)
+    return path
+
+
+class TestRecordBench:
+    def test_record_merges_variants(self, harness, tmp_path,
+                                    monkeypatch):
+        monkeypatch.setenv("TITANCC_BENCH_DIR", str(tmp_path))
+        harness.record_bench("demo", "o0", metrics={"cycles": 100.0})
+        path = harness.record_bench("demo", "full",
+                                    metrics={"cycles": 10.0})
+        doc = json.loads(open(path).read())
+        assert doc["schema"] == harness.BENCH_SCHEMA
+        assert set(doc["variants"]) == {"o0", "full"}
+        assert doc["variants"]["o0"]["cycles"] == 100.0
+
+    def test_record_via_compile_and_simulate(self, harness, tmp_path,
+                                             monkeypatch):
+        monkeypatch.setenv("TITANCC_BENCH_DIR", str(tmp_path))
+        src = """
+        float a[64], b[64];
+        void f(void) {
+            int i;
+            for (i = 0; i < 64; i++) a[i] = b[i] + 1.0f;
+        }
+        """
+        report = harness.compile_and_simulate(
+            src, "f", harness.FULL, arrays={"b": [1.0] * 64},
+            record="mini/full")
+        doc = json.loads(
+            open(tmp_path / "BENCH_mini.json").read())
+        metrics = doc["variants"]["full"]
+        assert metrics["cycles"] == report.cycles
+        assert metrics["mflops"] == pytest.approx(report.mflops)
+        assert metrics["vectorized_loops"] == 1
+
+    def test_determinism(self, harness, tmp_path, monkeypatch):
+        """Recorded metrics must be identical across runs — they are
+        committed as baselines."""
+        monkeypatch.setenv("TITANCC_BENCH_DIR", str(tmp_path))
+        src = """
+        float a[32];
+        void f(void) { int i;
+            for (i = 0; i < 32; i++) a[i] = a[i] * 2.0f; }
+        """
+        first = harness.compile_and_simulate(
+            src, "f", harness.FULL, record="det/full")
+        second = harness.compile_and_simulate(
+            src, "f", harness.FULL, record="det/full")
+        assert first.cycles == second.cycles
+        assert first.mflops == second.mflops
+
+
+class TestRegressGate:
+    def test_ok_within_tolerance(self, regress, tmp_path, capsys):
+        base = tmp_path / "base"
+        cur = tmp_path / "cur"
+        _write_bench(base, "b", {"full": {"cycles": 100.0,
+                                          "mflops": 2.0}})
+        _write_bench(cur, "b", {"full": {"cycles": 102.0,
+                                         "mflops": 1.98}})
+        assert regress.main(["--current", str(cur),
+                             "--baselines", str(base)]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_cycle_regression_fails(self, regress, tmp_path, capsys):
+        base = tmp_path / "base"
+        cur = tmp_path / "cur"
+        _write_bench(base, "b", {"full": {"cycles": 100.0}})
+        _write_bench(cur, "b", {"full": {"cycles": 106.0}})  # +6%
+        assert regress.main(["--current", str(cur),
+                             "--baselines", str(base)]) == 1
+        assert "cycles regressed" in capsys.readouterr().err
+
+    def test_mflops_drop_fails_but_gain_passes(self, regress,
+                                               tmp_path):
+        base = tmp_path / "base"
+        cur = tmp_path / "cur"
+        _write_bench(base, "b", {"full": {"mflops": 2.0}})
+        _write_bench(cur, "b", {"full": {"mflops": 1.8}})  # -10%
+        assert regress.main(["--current", str(cur),
+                             "--baselines", str(base)]) == 1
+        _write_bench(cur, "b", {"full": {"mflops": 4.0}})  # better
+        assert regress.main(["--current", str(cur),
+                             "--baselines", str(base)]) == 0
+
+    def test_cycle_improvement_passes(self, regress, tmp_path):
+        base = tmp_path / "base"
+        cur = tmp_path / "cur"
+        _write_bench(base, "b", {"full": {"cycles": 100.0}})
+        _write_bench(cur, "b", {"full": {"cycles": 50.0}})
+        assert regress.main(["--current", str(cur),
+                             "--baselines", str(base)]) == 0
+
+    def test_missing_bench_fails(self, regress, tmp_path, capsys):
+        base = tmp_path / "base"
+        cur = tmp_path / "cur"
+        _write_bench(base, "gone", {"full": {"cycles": 1.0}})
+        _write_bench(cur, "other", {"full": {"cycles": 1.0}})
+        assert regress.main(["--current", str(cur),
+                             "--baselines", str(base)]) == 1
+        assert "missing" in capsys.readouterr().err
+
+    def test_missing_metric_fails(self, regress, tmp_path):
+        base = tmp_path / "base"
+        cur = tmp_path / "cur"
+        _write_bench(base, "b", {"full": {"cycles": 1.0,
+                                          "mflops": 2.0}})
+        _write_bench(cur, "b", {"full": {"cycles": 1.0}})
+        assert regress.main(["--current", str(cur),
+                             "--baselines", str(base)]) == 1
+
+    def test_tolerance_flag(self, regress, tmp_path):
+        base = tmp_path / "base"
+        cur = tmp_path / "cur"
+        _write_bench(base, "b", {"full": {"cycles": 100.0}})
+        _write_bench(cur, "b", {"full": {"cycles": 108.0}})
+        assert regress.main(["--current", str(cur),
+                             "--baselines", str(base),
+                             "--tolerance", "0.1"]) == 0
+
+    def test_empty_current_dir_errors(self, regress, tmp_path):
+        assert regress.main(["--current", str(tmp_path / "nowhere"),
+                             "--baselines", str(tmp_path)]) == 2
+
+    def test_update_creates_then_keeps_history(self, regress,
+                                               tmp_path):
+        base = tmp_path / "base"
+        cur = tmp_path / "cur"
+        _write_bench(cur, "b", {"full": {"cycles": 100.0}})
+        assert regress.main(["--current", str(cur),
+                             "--baselines", str(base),
+                             "--update"]) == 0
+        _write_bench(cur, "b", {"full": {"cycles": 90.0}})
+        assert regress.main(["--current", str(cur),
+                             "--baselines", str(base),
+                             "--update"]) == 0
+        doc = json.loads(
+            open(base / "BENCH_b.json").read())
+        assert doc["variants"]["full"]["cycles"] == 90.0
+        assert doc["history"][-1]["variants"]["full"]["cycles"] \
+            == 100.0
+
+    def test_bad_schema_skipped(self, regress, tmp_path, capsys):
+        cur = tmp_path / "cur"
+        os.makedirs(cur)
+        with open(cur / "BENCH_x.json", "w") as handle:
+            json.dump({"schema": "other/9", "name": "x"}, handle)
+        assert regress.load_benches(str(cur)) == {}
+
+
+class TestCommittedBaselines:
+    """The repo ships baselines for all 12 experiments; they must stay
+    valid documents."""
+
+    def test_baselines_present_and_versioned(self, regress):
+        docs = regress.load_benches(regress.BASELINE_DIR)
+        assert len(docs) == 12
+        for name, doc in docs.items():
+            assert doc["schema"] == regress.BENCH_SCHEMA
+            assert doc["variants"], name
+
+    def test_key_metrics_recorded(self, regress):
+        docs = regress.load_benches(regress.BASELINE_DIR)
+        e1 = docs["e1_backsolve"]["variants"]
+        assert {"scalar", "full", "summary"} <= set(e1)
+        assert e1["full"]["cycles"] > 0
+        assert "hottest_loop" in e1["full"]
+        assert docs["e2_daxpy"]["variants"]["summary"]["speedup"] > 8
