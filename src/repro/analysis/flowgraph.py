@@ -271,8 +271,15 @@ def node_defs(node: FlowNode, fn: N.ILFunction,
     return set()
 
 
-def node_uses(node: FlowNode) -> Set[object]:
-    """The locations ``node`` may read."""
+def node_uses(node: FlowNode,
+              aliased: Set[Symbol] = frozenset()) -> Set[object]:
+    """The locations ``node`` may read.
+
+    ``aliased`` matters at call sites: a callee may read any global or
+    address-taken symbol, so those count as uses of the call node —
+    otherwise liveness deletes a store to a global that only the
+    callee observes.
+    """
     stmt = node.stmt
     uses: Set[object] = set()
 
@@ -282,6 +289,9 @@ def node_uses(node: FlowNode) -> Set[object]:
                 uses.add(sub.sym)
             elif isinstance(sub, (N.Mem, N.Section)):
                 uses.add(MEMORY)
+            if isinstance(sub, N.CallExpr):
+                uses.add(MEMORY)
+                uses.update(aliased)
 
     if node.kind == "assign" and isinstance(stmt,
                                             (N.Assign, N.VectorAssign)):

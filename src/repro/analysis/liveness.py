@@ -29,7 +29,7 @@ class Liveness:
         uses: Dict[FlowNode, Set[object]] = {}
         defs: Dict[FlowNode, Set[object]] = {}
         for node in nodes:
-            uses[node] = node_uses(node)
+            uses[node] = node_uses(node, self.aliased)
             defs[node] = node_defs(node, self.graph.fn, self.aliased)
         # At exit, globals, aliased locals, params of pointer type (the
         # caller can see what they point at) and MEMORY remain live.
@@ -50,9 +50,13 @@ class Liveness:
                     out = frozenset().union(
                         *(live_in[s] for s in node.succs)) \
                         if node.succs else frozenset()
-                strong = {d for d in defs[node]
-                          if isinstance(d, Symbol)} \
-                    if _strong(node) else set()
+                # Only *must*-defs kill liveness.  A call's may-defs
+                # (every aliased symbol) are in defs[] so DCE knows the
+                # call can write them, but a may-def must not make an
+                # earlier store look dead — the callee might not write
+                # the symbol at all (fuzz find: `g = g - 6; r = h(x);
+                # use g` lost the store to g).
+                strong = _must_defs(node) if _strong(node) else set()
                 new_in = frozenset(uses[node]) | (out - frozenset(strong))
                 if out != live_out[node] or new_in != live_in[node]:
                     live_out[node] = out
@@ -72,3 +76,14 @@ def _strong(node: FlowNode) -> bool:
     if node.kind == "assign" and isinstance(stmt, N.Assign):
         return isinstance(stmt.target, N.VarRef)
     return False
+
+
+def _must_defs(node: FlowNode) -> Set[Symbol]:
+    """Symbols ``node`` definitely writes (the kill set)."""
+    stmt = node.stmt
+    if node.kind in ("do_init", "do_step"):
+        return {stmt.var}
+    if node.kind == "assign" and isinstance(stmt, N.Assign) \
+            and isinstance(stmt.target, N.VarRef):
+        return {stmt.target.sym}
+    return set()

@@ -45,47 +45,96 @@ class UseDefChains:
         self._uses_at: Dict[FlowNode, Set[object]] = {}
         for node in graph.nodes:
             self._defs_at[node] = node_defs(node, graph.fn, self.aliased)
-            self._uses_at[node] = node_uses(node)
-        self.reaching_in: Dict[FlowNode, FrozenSet[Definition]] = {}
+            self._uses_at[node] = node_uses(node, self.aliased)
+        self._reaching_in: Optional[Dict[FlowNode, FrozenSet[Definition]]] \
+            = None
+        self._reaching_out: Optional[Dict[FlowNode, FrozenSet[Definition]]] \
+            = None
         self._solve()
 
     # -- dataflow ----------------------------------------------------------
 
     def _solve(self) -> None:
+        # Definitions are numbered and the dataflow runs on integer
+        # bitmasks: without inlining, every call site gen's a may-def of
+        # MEMORY plus each aliased symbol, none of which is ever killed,
+        # so frozenset-of-Definition sets grow with call count and the
+        # solve goes quadratic.  Bit operations keep each transfer O(1)
+        # in practice.
         nodes = self.graph.nodes
-        gen: Dict[FlowNode, FrozenSet[Definition]] = {}
+        all_defs: List[Definition] = []
+        gen_mask: Dict[FlowNode, int] = {}
+        defs_by_loc: Dict[object, int] = defaultdict(int)
         for node in nodes:
-            gen[node] = frozenset(Definition(node, loc)
-                                  for loc in self._defs_at[node])
-        out: Dict[FlowNode, FrozenSet[Definition]] = {
-            node: frozenset() for node in nodes}
-        in_: Dict[FlowNode, FrozenSet[Definition]] = {
-            node: frozenset() for node in nodes}
+            mask = 0
+            for loc in self._defs_at[node]:
+                bit = 1 << len(all_defs)
+                all_defs.append(Definition(node, loc))
+                defs_by_loc[loc] |= bit
+                mask |= bit
+            gen_mask[node] = mask
+        kill_mask: Dict[FlowNode, int] = {}
+        for node in nodes:
+            kill = 0
+            if _is_strong_def(node):
+                # A definite scalar assignment kills prior defs of that
+                # scalar; MEMORY and aliased defs accumulate (may-defs).
+                for loc in self._defs_at[node]:
+                    if loc is not MEMORY and loc not in self.aliased:
+                        kill |= defs_by_loc[loc]
+            kill_mask[node] = kill
+        out: Dict[FlowNode, int] = {node: 0 for node in nodes}
+        in_: Dict[FlowNode, int] = {node: 0 for node in nodes}
         worklist = list(nodes)
         while worklist:
             node = worklist.pop()
-            new_in = frozenset().union(*(out[p] for p in node.preds)) \
-                if node.preds else frozenset()
-            killed_locs = {loc for loc in self._defs_at[node]
-                           if loc is not MEMORY and loc not in self.aliased}
-            # A definite scalar assignment kills prior defs of that
-            # scalar; MEMORY and aliased defs accumulate (may-defs).
-            strong = killed_locs if _is_strong_def(node) else set()
-            new_out = gen[node] | frozenset(
-                d for d in new_in if d.location not in strong)
+            new_in = 0
+            for p in node.preds:
+                new_in |= out[p]
+            new_out = gen_mask[node] | (new_in & ~kill_mask[node])
             if new_in != in_[node] or new_out != out[node]:
                 in_[node] = new_in
                 out[node] = new_out
                 worklist.extend(node.succs)
-        self.reaching_in = in_
-        self.reaching_out = out
+        self._all_defs = all_defs
+        self._defs_by_loc = defs_by_loc
+        self._in_mask = in_
+        self._out_mask = out
+
+    def _expand(self, mask: int) -> FrozenSet[Definition]:
+        defs = []
+        while mask:
+            low = mask & -mask
+            defs.append(self._all_defs[low.bit_length() - 1])
+            mask ^= low
+        return frozenset(defs)
+
+    @property
+    def reaching_in(self) -> Dict[FlowNode, FrozenSet[Definition]]:
+        if self._reaching_in is None:
+            self._reaching_in = {node: self._expand(mask)
+                                 for node, mask in self._in_mask.items()}
+        return self._reaching_in
+
+    @property
+    def reaching_out(self) -> Dict[FlowNode, FrozenSet[Definition]]:
+        if self._reaching_out is None:
+            self._reaching_out = {node: self._expand(mask)
+                                  for node, mask in self._out_mask.items()}
+        return self._reaching_out
 
     # -- queries -----------------------------------------------------------
 
     def defs_reaching(self, node: FlowNode,
                       location: object) -> List[Definition]:
-        return [d for d in self.reaching_in.get(node, frozenset())
-                if d.location == location]
+        mask = self._in_mask.get(node, 0) \
+            & self._defs_by_loc.get(location, 0)
+        defs = []
+        while mask:
+            low = mask & -mask
+            defs.append(self._all_defs[low.bit_length() - 1])
+            mask ^= low
+        return defs
 
     def unique_def(self, node: FlowNode,
                    sym: Symbol) -> Optional[Definition]:

@@ -186,27 +186,51 @@ class Lexer:
         return Token(INT_CONST, body + suffix, coord,
                      int_value=value, suffix=suffix)
 
+    def _scan_escape(self, coord: Coord) -> int:
+        """Decode one escape sequence (the backslash is consumed).
+
+        Out-of-range sequences are diagnosed rather than silently
+        producing code points a ``char`` cannot hold: ``\\x`` needs at
+        least one hex digit, and both hex and octal escapes must fit in
+        one byte (0..0xFF) — the same constraint-violation diagnostics
+        gcc/clang issue.
+        """
+        esc = self._advance()
+        if esc == "x":
+            digits = ""
+            while self._peek() in "0123456789abcdefABCDEF":
+                digits += self._advance()
+            if not digits:
+                raise LexError("\\x used with no following hex digits",
+                               coord)
+            value = int(digits, 16)
+            if value > 0xFF:
+                raise LexError(f"hex escape \\x{digits} out of range "
+                               f"(max \\xff)", coord)
+            return value
+        if esc.isdigit():
+            digits = esc
+            while self._peek().isdigit() and len(digits) < 3:
+                digits += self._advance()
+            if any(d in "89" for d in digits):
+                raise LexError(f"invalid digit in octal escape "
+                               f"\\{digits}", coord)
+            value = int(digits, 8)
+            if value > 0xFF:
+                raise LexError(f"octal escape \\{digits} out of range "
+                               f"(max \\377)", coord)
+            return value
+        if esc in _ESCAPES:
+            return ord(_ESCAPES[esc])
+        raise LexError(f"unknown escape \\{esc}", coord)
+
     def _scan_char(self) -> Token:
         coord = self._coord()
         self._advance()  # opening '
         ch = self._peek()
         if ch == "\\":
             self._advance()
-            esc = self._advance()
-            if esc == "x":
-                digits = ""
-                while self._peek() in "0123456789abcdefABCDEF":
-                    digits += self._advance()
-                value = int(digits, 16)
-            elif esc.isdigit():
-                digits = esc
-                while self._peek().isdigit() and len(digits) < 3:
-                    digits += self._advance()
-                value = int(digits, 8)
-            elif esc in _ESCAPES:
-                value = ord(_ESCAPES[esc])
-            else:
-                raise LexError(f"unknown escape \\{esc}", coord)
+            value = self._scan_escape(coord)
         elif ch == "":
             raise LexError("unterminated character constant", coord)
         else:
@@ -229,21 +253,7 @@ class Lexer:
                 break
             if ch == "\\":
                 self._advance()
-                esc = self._advance()
-                if esc == "x":
-                    digits = ""
-                    while self._peek() in "0123456789abcdefABCDEF":
-                        digits += self._advance()
-                    out.append(chr(int(digits, 16)))
-                elif esc.isdigit():
-                    digits = esc
-                    while self._peek().isdigit() and len(digits) < 3:
-                        digits += self._advance()
-                    out.append(chr(int(digits, 8)))
-                elif esc in _ESCAPES:
-                    out.append(_ESCAPES[esc])
-                else:
-                    raise LexError(f"unknown escape \\{esc}", coord)
+                out.append(chr(self._scan_escape(coord)))
             else:
                 out.append(self._advance())
         return Token(STRING, "".join(out), coord)

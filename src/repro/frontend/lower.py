@@ -109,8 +109,14 @@ class Lowerer:
             if isinstance(d.ctype, FunctionType):
                 self._declare_global(d.name, d.ctype, EXTERN)
                 continue
-            sym = self._declare_global(d.name, d.ctype, storage)
-            init = self._const_initializer(d.init, d.ctype) \
+            ctype = d.ctype
+            if isinstance(ctype, ArrayType) and ctype.length is None \
+                    and d.init is not None and not d.init.is_list \
+                    and isinstance(d.init.expr, A.StringLit):
+                ctype = ArrayType(base=ctype.base,
+                                  length=len(d.init.expr.value) + 1)
+            sym = self._declare_global(d.name, ctype, storage)
+            init = self._const_initializer(d.init, ctype) \
                 if d.init is not None else None
             if not any(g.sym == sym for g in self.globals):
                 self.globals.append(N.GlobalVar(sym=sym, init=init))
@@ -124,11 +130,19 @@ class Lowerer:
         raise KeyError(sym.name)
 
     def _const_initializer(self, init: A.Initializer, ctype: CType):
-        """Fold a global initializer to Python scalars / nested lists."""
+        """Fold a global initializer to Python scalars / nested lists.
+
+        String literals are constants too: for a char array they fold
+        to the byte list (NUL-terminated), for a pointer they intern an
+        anonymous string global and fold to its :class:`Symbol`, which
+        the interpreter resolves to the string's address at load time.
+        """
         if init.is_list:
             elem = ctype.base if isinstance(ctype, ArrayType) else None
             return [self._const_initializer(item, elem or INT)
                     for item in init.items]
+        if isinstance(init.expr, A.StringLit):
+            return self._string_initializer(init.expr, ctype, init.coord)
         value = _fold_const_expr(init.expr)
         if value is None:
             raise LoweringError("global initializer is not constant",
@@ -136,6 +150,36 @@ class Lowerer:
         if ctype.is_float:
             return float(value)
         return value
+
+    def _string_initializer(self, lit: A.StringLit, ctype: CType,
+                            coord: Optional[A.Coord]):
+        data = [ord(c) for c in lit.value] + [0]
+        if isinstance(ctype, ArrayType):
+            if not isinstance(ctype.base, IntType):
+                raise LoweringError("string initializer on non-char "
+                                    "array", coord)
+            if ctype.length is not None and ctype.length < len(data) - 1:
+                raise LoweringError(
+                    f"string literal of length {len(data) - 1} does not "
+                    f"fit array of {ctype.length}", coord)
+            if ctype.length is not None:
+                return data[:ctype.length]
+            return data
+        if ctype.is_pointer:
+            return self._intern_string(lit.value)
+        raise LoweringError(f"string initializer for non-array, "
+                            f"non-pointer type {ctype}", coord)
+
+    def _intern_string(self, value: str) -> Symbol:
+        """Create the anonymous global backing a string literal."""
+        data = [ord(c) for c in value] + [0]
+        ctype = ArrayType(base=IntType(kind="char"), length=len(data))
+        name = f"__string_{next(self._string_count)}"
+        sym = Symbol(name=name, ctype=ctype, storage=STATIC,
+                     uid=self.symtab.new_uid())
+        self.symtab.symbols[sym.uid] = sym
+        self.globals.append(N.GlobalVar(sym=sym, init=data))
+        return sym
 
     # ------------------------------------------------------------------
     # Functions
@@ -494,13 +538,7 @@ class Lowerer:
         return [], N.Const(value=node.value, ctype=INT)
 
     def _lower_StringLit(self, node: A.StringLit) -> Pair:
-        data = [ord(c) for c in node.value] + [0]
-        ctype = ArrayType(base=IntType(kind="char"), length=len(data))
-        name = f"__string_{next(self._string_count)}"
-        sym = Symbol(name=name, ctype=ctype, storage=STATIC,
-                     uid=self.symtab.new_uid())
-        self.symtab.symbols[sym.uid] = sym
-        self.globals.append(N.GlobalVar(sym=sym, init=data))
+        sym = self._intern_string(node.value)
         return [], N.AddrOf(sym=sym,
                             ctype=PointerType(base=IntType(kind="char")))
 

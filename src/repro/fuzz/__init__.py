@@ -1,0 +1,35 @@
+"""Differential fuzzing of the Titan C compiler.
+
+``python -m repro.fuzz --seed 0 --count 200`` generates deterministic
+well-defined C programs (:mod:`repro.fuzz.generator`), compiles each
+at several option points, runs every variant through the reference
+:class:`~repro.interp.interpreter.Interpreter`
+(:mod:`repro.fuzz.harness`), minimizes any failure
+(:mod:`repro.fuzz.reduce`), and writes reproducer ``.c`` files plus a
+JSON summary.  ``tests/fuzz_corpus/`` holds the committed reproducers,
+replayed by ``tests/test_fuzz.py``.
+"""
+
+from .generator import (GeneratedProgram, GeneratorOptions,
+                        ProgramGenerator, generate_program)
+from .harness import (CLEAN_REJECTIONS, DifferentialResult, FuzzReport,
+                      VariantResult, classify_exception, fuzz,
+                      option_points, run_source)
+from .reduce import reduce_result, reduce_source
+
+__all__ = [
+    "CLEAN_REJECTIONS",
+    "DifferentialResult",
+    "FuzzReport",
+    "GeneratedProgram",
+    "GeneratorOptions",
+    "ProgramGenerator",
+    "VariantResult",
+    "classify_exception",
+    "fuzz",
+    "generate_program",
+    "option_points",
+    "reduce_result",
+    "reduce_source",
+    "run_source",
+]

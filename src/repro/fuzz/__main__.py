@@ -1,0 +1,137 @@
+"""``python -m repro.fuzz`` — the differential fuzzing CLI.
+
+Examples::
+
+    python -m repro.fuzz --seed 0 --count 200
+    python -m repro.fuzz --seed 7 --count 50 --out fuzz-out
+    python -m repro.fuzz --replay tests/fuzz_corpus/global_string_init.c
+
+With ``--out DIR`` every failure is minimized and written as
+``DIR/repro_<name>.c`` (a self-contained one-command reproducer), and
+``DIR/summary.json`` records the whole run (schema ``titancc-fuzz/1``,
+serialized through the same :func:`~repro.obs.trace.jsonable`
+hardening the compilation report uses).  Exit status is non-zero when
+any divergence or crash was found.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import List, Optional
+
+from ..obs.trace import jsonable
+from .generator import GeneratorOptions
+from .harness import (DifferentialResult, fuzz, option_points,
+                      run_source)
+from .reduce import reduce_result
+
+
+def build_arg_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.fuzz",
+        description="Differentially fuzz the Titan C compiler: "
+                    "generated well-defined programs must compute the "
+                    "same checksum at every optimization level.")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="first generator seed (default 0)")
+    parser.add_argument("--count", type=int, default=100,
+                        help="number of programs (default 100)")
+    parser.add_argument("--out", metavar="DIR",
+                        help="write minimized reproducer .c files and "
+                             "summary.json here")
+    parser.add_argument("--replay", metavar="FILE", action="append",
+                        default=[],
+                        help="differentially test this .c file instead "
+                             "of generating (repeatable)")
+    parser.add_argument("--max-steps", type=int, default=2_000_000,
+                        help="interpreter step budget per run")
+    parser.add_argument("--max-blocks", type=int, default=5,
+                        help="max statement blocks per program")
+    parser.add_argument("--no-reduce", action="store_true",
+                        help="write failures unminimized")
+    parser.add_argument("--quiet", action="store_true",
+                        help="only print the final summary line")
+    return parser
+
+
+def _progress(args, done: int, report_holder: List[int]) -> None:
+    if args.quiet:
+        return
+    if done % 25 == 0 or done == args.count:
+        print(f"fuzz: {done}/{args.count} programs", file=sys.stderr)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_arg_parser().parse_args(argv)
+    points = option_points()
+
+    if args.replay:
+        failures: List[DifferentialResult] = []
+        for path in args.replay:
+            with open(path) as handle:
+                source = handle.read()
+            result = run_source(source,
+                                name=os.path.basename(path),
+                                points=points,
+                                max_steps=args.max_steps)
+            print(f"{path}: {result.status} "
+                  f"({result.signature()})")
+            if result.failed:
+                failures.append(result)
+        return 1 if failures else 0
+
+    done = [0]
+
+    def on_result(result: DifferentialResult) -> None:
+        done[0] += 1
+        _progress(args, done[0], done)
+        if result.status != "ok" and not args.quiet:
+            print(f"fuzz: {result.name}: {result.status} "
+                  f"({result.signature()})", file=sys.stderr)
+
+    gen_options = GeneratorOptions(max_blocks=args.max_blocks)
+    report = fuzz(args.seed, args.count,
+                  generator_options=gen_options, points=points,
+                  max_steps=args.max_steps, on_result=on_result)
+
+    if args.out:
+        os.makedirs(args.out, exist_ok=True)
+        summary = report.to_dict()
+        summary["reproducers"] = []
+        for failure in report.failures:
+            source = failure.source
+            if not args.no_reduce:
+                minimized = reduce_result(
+                    failure,
+                    lambda text: run_source(text, points=points,
+                                            max_steps=args.max_steps))
+                if minimized is not None:
+                    source = minimized
+            path = os.path.join(args.out, f"repro_{failure.name}.c")
+            header = (f"// fuzz reproducer {failure.name}: "
+                      f"{failure.signature()}\n"
+                      f"// replay: python -m repro.fuzz --replay "
+                      f"{path}\n")
+            with open(path, "w") as handle:
+                handle.write(header + source)
+            summary["reproducers"].append(path)
+            if not args.quiet:
+                print(f"fuzz: wrote {path}", file=sys.stderr)
+        with open(os.path.join(args.out, "summary.json"), "w") \
+                as handle:
+            json.dump(jsonable(summary), handle, indent=1,
+                      ensure_ascii=True)
+            handle.write("\n")
+
+    print(f"fuzz: {report.count} programs from seed {report.seed}: "
+          f"{report.ok} ok, {report.rejected} rejected, "
+          f"{report.divergences} divergences, "
+          f"{report.crashes} crashes")
+    return 0 if report.clean else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,367 @@
+"""Deterministic random generator of well-defined C programs.
+
+Every program this module emits is *semantically closed*: it allocates
+and initializes its own data, touches no external state, terminates,
+and folds everything it computed into a checksum returned from
+``main``.  Two executions that disagree on the return value therefore
+witness a genuine semantic divergence — the property the differential
+harness (:mod:`repro.fuzz.harness`) is built on.
+
+Well-definedness is by construction, not by filtering:
+
+* all arithmetic is ``int``; the oracle interpreter wraps every
+  operation to the C type (two's complement), so overflow is defined
+  and identical at every optimization level;
+* division and modulo only ever see non-zero divisors (either a
+  non-zero constant, or ``(expr & k) + 1``);
+* array subscripts are affine in the loop variable and the loop bounds
+  are shrunk so every used form stays in range (the same discipline as
+  the hypothesis property tests);
+* ``while``/``do-while`` loops count down a dedicated counter that is
+  decremented before any ``continue`` can skip the rest of the body;
+* pointer walks start at an array base and take at most one step per
+  loop iteration, bounded by the array length.
+
+The generator exercises exactly the constructs the compiler claims to
+transform: counted ``for`` loops (while→DO conversion, vectorization),
+``while``/``do-while`` with ``break``/``continue`` (flow-graph paths),
+``?:``/``&&``/``||`` with side effects (the paper's section 4
+rewrites), pointer-bump loops (IV substitution, strength reduction),
+and small helper functions (the inliner).
+
+Everything is driven by one ``random.Random(seed)`` — the same seed
+always yields byte-identical source.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass
+class GeneratorOptions:
+    """Size knobs; the defaults keep one program's differential run
+    in the low hundreds of milliseconds."""
+
+    min_blocks: int = 2
+    max_blocks: int = 5
+    max_helpers: int = 2
+    array_lengths: Tuple[int, ...] = (8, 12, 16, 24)
+    max_expr_depth: int = 3
+
+
+@dataclass
+class GeneratedProgram:
+    seed: int
+    source: str
+    arrays: Dict[str, int] = field(default_factory=dict)
+    scalars: List[str] = field(default_factory=list)
+
+
+ARRAYS = ["A", "B", "C"]
+GLOBAL_SCALARS = ["g0", "g1", "g2"]
+LOCAL_SCALARS = ["t0", "t1"]
+
+# Affine subscript forms of the for-loop variable, with the bound
+# shrink each form needs to stay inside [0, size).
+_SUB_FORMS = ["i", "i + 1", "i - 1", "2 * i", "const"]
+
+
+class ProgramGenerator:
+    def __init__(self, seed: int,
+                 options: Optional[GeneratorOptions] = None):
+        self.seed = seed
+        self.rng = random.Random(seed)
+        self.opts = options or GeneratorOptions()
+        self.size = self.rng.choice(self.opts.array_lengths)
+        self.n_helpers = self.rng.randint(0, self.opts.max_helpers)
+
+    # ------------------------------------------------------------------
+    # Expressions
+    # ------------------------------------------------------------------
+
+    def _const(self) -> str:
+        return str(self.rng.randint(-9, 9))
+
+    def _atom(self, loopvar: Optional[str], forms: List[str]) -> str:
+        choices = ["const", "scalar"]
+        if loopvar is not None:
+            choices += ["loopvar", "array", "array"]
+        choice = self.rng.choice(choices)
+        if choice == "const":
+            return self._const()
+        if choice == "scalar":
+            return self.rng.choice(GLOBAL_SCALARS + LOCAL_SCALARS)
+        if choice == "loopvar":
+            return loopvar
+        return self._array_read(forms)
+
+    def _array_read(self, forms: List[str]) -> str:
+        sub = self._subscript(forms)
+        return f"{self.rng.choice(ARRAYS)}[{sub}]"
+
+    def _subscript(self, forms: List[str]) -> str:
+        form = self.rng.choice(_SUB_FORMS)
+        if form == "const":
+            forms.append("const")
+            return str(self.rng.randint(0, self.size - 1))
+        forms.append(form)
+        return form
+
+    def _expr(self, depth: int, loopvar: Optional[str],
+              forms: List[str], calls_ok: bool = True) -> str:
+        if depth >= self.opts.max_expr_depth or self.rng.random() < 0.4:
+            return self._atom(loopvar, forms)
+        kind = self.rng.randint(0, 9)
+        if kind <= 4:  # plain binop
+            op = self.rng.choice(["+", "-", "*", "&", "|", "^"])
+            left = self._expr(depth + 1, loopvar, forms, calls_ok)
+            right = self._expr(depth + 1, loopvar, forms, calls_ok)
+            return f"({left} {op} {right})"
+        if kind == 5:  # shift by a small constant
+            left = self._expr(depth + 1, loopvar, forms, calls_ok)
+            op = self.rng.choice(["<<", ">>"])
+            return f"({left} {op} {self.rng.randint(0, 3)})"
+        if kind == 6:  # division/modulo by a provably non-zero divisor
+            left = self._expr(depth + 1, loopvar, forms, calls_ok)
+            op = self.rng.choice(["/", "%"])
+            if self.rng.random() < 0.5:
+                divisor = str(self.rng.choice([2, 3, 4, 5, 7, 8]))
+            else:
+                inner = self._expr(depth + 1, loopvar, forms, calls_ok)
+                divisor = f"(({inner} & 7) + 1)"
+            return f"({left} {op} {divisor})"
+        if kind == 7:  # comparison (0/1-valued)
+            left = self._expr(depth + 1, loopvar, forms, calls_ok)
+            right = self._expr(depth + 1, loopvar, forms, calls_ok)
+            op = self.rng.choice(["<", ">", "<=", ">=", "==", "!="])
+            return f"({left} {op} {right})"
+        if kind == 8 and calls_ok and self.n_helpers:
+            fn = f"h{self.rng.randint(0, self.n_helpers - 1)}"
+            a = self._expr(depth + 1, loopvar, forms, calls_ok=False)
+            b = self._expr(depth + 1, loopvar, forms, calls_ok=False)
+            return f"{fn}({a}, {b})"
+        cond = self._expr(depth + 1, loopvar, forms, calls_ok)
+        left = self._expr(depth + 1, loopvar, forms, calls_ok)
+        right = self._expr(depth + 1, loopvar, forms, calls_ok)
+        return f"(({cond}) ? ({left}) : ({right}))"
+
+    # ------------------------------------------------------------------
+    # Helper functions (inliner fodder)
+    # ------------------------------------------------------------------
+
+    def _helper(self, index: int) -> str:
+        body_forms: List[str] = []
+        if self.rng.random() < 0.5:
+            expr = self._expr(1, None, body_forms, calls_ok=False)
+            expr = expr.replace("t0", "x").replace("t1", "y") \
+                       .replace("g0", "x").replace("g1", "y") \
+                       .replace("g2", "x")
+            return (f"int h{index}(int x, int y)\n"
+                    f"{{\n    return {expr};\n}}")
+        op = self.rng.choice(["+", "-", "*", "^"])
+        k = self.rng.randint(1, 5)
+        return (f"int h{index}(int x, int y)\n"
+                "{\n"
+                "    if (x > y)\n"
+                f"        return (x {op} y) + {k};\n"
+                f"    return y - x + {k};\n"
+                "}")
+
+    # ------------------------------------------------------------------
+    # Statement blocks
+    # ------------------------------------------------------------------
+
+    def _for_block(self) -> str:
+        forms: List[str] = []
+        lines: List[str] = []
+        n_stmts = self.rng.randint(1, 3)
+        use_temp = self.rng.random() < 0.4
+        if use_temp:
+            lines.append(f"t0 = {self._expr(0, 'i', forms)};")
+        for _ in range(n_stmts):
+            target = self.rng.choice(ARRAYS)
+            sub = self._subscript(forms)
+            value = self._expr(0, "i", forms)
+            if use_temp and self.rng.random() < 0.5:
+                value = f"(t0 + {value})"
+            lines.append(f"{target}[{sub}] = {value};")
+        if self.rng.random() < 0.4:  # reduction
+            lines.append(f"g0 = g0 + {self._array_read(forms)};")
+        if self.rng.random() < 0.3:  # guarded early exit / skip
+            # `(expr & 7) == k` fires on a real fraction of iterations,
+            # so the break/continue path is executed, not just compiled.
+            guard = self._expr(1, "i", forms)
+            jump = self.rng.choice(["break", "continue"])
+            k = self.rng.randint(0, 7)
+            lines.insert(self.rng.randint(0, len(lines)),
+                         f"if ((({guard}) & 7) == {k}) {jump};")
+        lo, hi = self._bounds(forms)
+        body = "\n".join(f"        {line}" for line in lines)
+        return (f"    for (i = {lo}; i < {hi}; i++) {{\n"
+                f"{body}\n    }}")
+
+    def _bounds(self, forms: List[str]) -> Tuple[int, int]:
+        lo, hi = 0, self.size
+        for form in forms:
+            if form == "i + 1":
+                hi = min(hi, self.size - 1)
+            elif form == "i - 1":
+                lo = max(lo, 1)
+            elif form == "2 * i":
+                hi = min(hi, self.size // 2)
+        if lo >= hi:
+            lo, hi = 0, 1
+        return lo, hi
+
+    def _while_block(self) -> str:
+        """A counted while loop: scalar accumulation or pointer walk.
+        The counter is decremented first, so a later ``continue``
+        cannot make the loop spin forever."""
+        count = self.rng.randint(1, self.size)
+        forms: List[str] = []
+        if self.rng.random() < 0.5:
+            src = self.rng.choice(ARRAYS)
+            dst = self.rng.choice([a for a in ARRAYS if a != src])
+            k = self._const()
+            lines = [f"p = {dst}; q = {src}; n = {count};",
+                     "while (n > 0) {",
+                     "    n = n - 1;",
+                     f"    *p++ = *q++ + {k};",
+                     "}"]
+        else:
+            lines = [f"n = {count};",
+                     "while (n > 0) {",
+                     "    n = n - 1;"]
+            if self.rng.random() < 0.4:
+                guard = self._expr(1, None, forms)
+                k = self.rng.randint(0, 7)
+                lines.append(
+                    f"    if ((({guard}) & 7) == {k}) continue;")
+            target = self.rng.choice(GLOBAL_SCALARS + ["t1"])
+            lines.append(
+                f"    {target} = {target} + {self._expr(1, None, forms)};")
+            if self.rng.random() < 0.3:
+                guard = self._expr(1, None, forms)
+                k = self.rng.randint(0, 7)
+                lines.append(f"    if ((({guard}) & 7) == {k}) break;")
+            lines.append("}")
+        return "\n".join(f"    {line}" for line in lines)
+
+    def _do_while_block(self) -> str:
+        count = self.rng.randint(1, self.size)
+        forms: List[str] = []
+        target = self.rng.choice(GLOBAL_SCALARS)
+        value = self._expr(1, None, forms)
+        return "\n".join(f"    {line}" for line in [
+            f"n = {count};",
+            "do {",
+            "    n = n - 1;",
+            f"    {target} = ({target} ^ {value}) + n;",
+            "} while (n > 0);",
+        ])
+
+    def _scalar_block(self) -> str:
+        """Side effects inside ``?:`` / ``&&`` / ``||`` operands — the
+        section 4 constructs the front end rewrites to statements."""
+        forms: List[str] = []
+        kind = self.rng.randint(0, 3)
+        a, b = self.rng.sample(GLOBAL_SCALARS, 2)
+        k = self.rng.randint(1, 6)
+        if kind == 0:
+            cond = self._expr(1, None, forms)
+            return (f"    t0 = ({cond}) > 0 ? ({a} += {k}) "
+                    f": ({b} -= {k});")
+        if kind == 1:
+            return (f"    t1 = (({a} > {self._const()}) && "
+                    f"(({b} += {k}) != 0)) ? {a} : {b};")
+        if kind == 2:
+            return (f"    t0 = (({a}++ > {self._const()}) || "
+                    f"(({b} -= {k}) > 0));")
+        target = self.rng.choice(GLOBAL_SCALARS + LOCAL_SCALARS)
+        op = self.rng.choice(["=", "+=", "-=", "^="])
+        return f"    {target} {op} {self._expr(0, None, forms)};"
+
+    def _if_block(self) -> str:
+        forms: List[str] = []
+        cond = self._expr(1, None, forms)
+        inner = self._scalar_block()
+        if self.rng.random() < 0.4:
+            other = self._scalar_block()
+            return (f"    if (({cond}) > 0) {{\n    {inner}\n"
+                    f"    }} else {{\n    {other}\n    }}")
+        return f"    if (({cond}) > 0) {{\n    {inner}\n    }}"
+
+    def _call_block(self) -> str:
+        fn = f"h{self.rng.randint(0, self.n_helpers - 1)}"
+        forms: List[str] = []
+        target = self.rng.choice(GLOBAL_SCALARS + LOCAL_SCALARS)
+        a = self._expr(1, None, forms, calls_ok=False)
+        b = self._expr(1, None, forms, calls_ok=False)
+        return f"    {target} = {target} + {fn}({a}, {b});"
+
+    # ------------------------------------------------------------------
+    # Whole programs
+    # ------------------------------------------------------------------
+
+    def generate(self) -> GeneratedProgram:
+        size = self.size
+        helpers = [self._helper(i) for i in range(self.n_helpers)]
+        block_makers = [self._for_block, self._for_block,
+                        self._while_block, self._do_while_block,
+                        self._scalar_block, self._if_block]
+        if self.n_helpers:
+            block_makers.append(self._call_block)
+        n_blocks = self.rng.randint(self.opts.min_blocks,
+                                    self.opts.max_blocks)
+        blocks = [self.rng.choice(block_makers)()
+                  for _ in range(n_blocks)]
+
+        g_inits = [self.rng.randint(-4, 9) for _ in GLOBAL_SCALARS]
+        decls = "\n".join(
+            [f"int {name}[{size}];" for name in ARRAYS]
+            + [f"int {name} = {value};"
+               for name, value in zip(GLOBAL_SCALARS, g_inits)])
+        init = (
+            "    for (i = 0; i < %d; i++) {\n"
+            "        A[i] = (i * 7) %% 13 - 6;\n"
+            "        B[i] = (i * 5) %% 11 - 3;\n"
+            "        C[i] = i - %d;\n"
+            "    }" % (size, size // 2))
+        checksum = [
+            "    chk = 0;",
+            f"    for (i = 0; i < {size}; i++)",
+            "        chk = chk * 31 + A[i] + B[i] * 3 + C[i] * 7;",
+            "    chk = chk * 31 + g0;",
+            "    chk = chk * 31 + g1;",
+            "    chk = chk * 31 + g2;",
+            "    chk = chk * 31 + t0 + t1;",
+            "    return chk;",
+        ]
+        body = "\n".join(blocks)
+        source = "\n".join(
+            [decls, ""]
+            + ([s for h in helpers for s in (h, "")])
+            + ["int main(void)",
+               "{",
+               "    int i, n, chk;",
+               "    int t0, t1;",
+               "    int *p, *q;",
+               "    t0 = 0; t1 = 0; n = 0;",
+               init,
+               body]
+            + checksum
+            + ["}", ""])
+        return GeneratedProgram(
+            seed=self.seed, source=source,
+            arrays={name: size for name in ARRAYS},
+            scalars=list(GLOBAL_SCALARS))
+
+
+def generate_program(seed: int,
+                     options: Optional[GeneratorOptions] = None
+                     ) -> GeneratedProgram:
+    """The one-call entry: seed in, deterministic program out."""
+    return ProgramGenerator(seed, options).generate()

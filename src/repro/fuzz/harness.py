@@ -1,0 +1,299 @@
+"""The differential harness: one program, many option points, one
+semantic oracle.
+
+The reference semantics of a program is what the :class:`Interpreter`
+computes on the *unoptimized* IL (front end only).  Every other
+compilation — scalar-opt-only, the full pipeline, a
+``vector_length``/``processors`` sweep — must produce IL that the same
+interpreter drives to the same ``main()`` return value, and for
+parallel loops the result must also be independent of the iteration
+order (forward / reverse / shuffle).
+
+Exception classification is the second half of the oracle.  The
+diagnostic types in :data:`CLEAN_REJECTIONS` are the front end doing
+its job on invalid input; anything else escaping ``compile`` is a
+compiler crash bug, and any exception from a *variant* of a program
+the reference accepted — including a "clean" diagnostic — is a
+pipeline bug.  This is the same classification the hypothesis
+robustness property in ``tests/test_properties.py`` enforces.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from ..frontend.ctypes_ import TypeError_
+from ..frontend.lexer import LexError
+from ..frontend.lower import LoweringError, compile_to_il
+from ..frontend.parser import ParseError
+from ..frontend.preprocessor import PreprocessorError
+from ..frontend.symtab import SymbolError
+from ..interp.interpreter import Interpreter
+from ..pipeline import CompilerOptions, compile_c
+from .generator import GeneratedProgram, GeneratorOptions, \
+    generate_program
+
+#: Exceptions that are legitimate diagnostics for invalid input.
+CLEAN_REJECTIONS = (LexError, ParseError, LoweringError,
+                    PreprocessorError, SymbolError, TypeError_)
+
+
+def classify_exception(exc: BaseException) -> str:
+    """``"reject"`` for a clean front-end diagnostic, ``"crash"`` for
+    anything else (an internal error escaping the compiler)."""
+    return "reject" if isinstance(exc, CLEAN_REJECTIONS) else "crash"
+
+
+# ---------------------------------------------------------------------------
+# Option points
+# ---------------------------------------------------------------------------
+
+
+def _o0() -> CompilerOptions:
+    return CompilerOptions(inline=False, scalar_opt=False,
+                           vectorize=False, parallelize=False,
+                           reg_pipeline=False, strength_reduction=False,
+                           split_termination=False)
+
+
+def _scalar_only() -> CompilerOptions:
+    return CompilerOptions(inline=False, scalar_opt=True,
+                           vectorize=False, parallelize=False,
+                           reg_pipeline=False,
+                           strength_reduction=False)
+
+
+def option_points(vector_lengths: Sequence[int] = (4, 32),
+                  processors: Sequence[int] = (1, 3)
+                  ) -> List[Tuple[str, CompilerOptions]]:
+    """The compilation configurations every program is checked at."""
+    points: List[Tuple[str, CompilerOptions]] = [
+        ("O0", _o0()),
+        ("scalar", _scalar_only()),
+        ("inline+scalar", CompilerOptions(vectorize=False,
+                                          parallelize=False,
+                                          reg_pipeline=False,
+                                          strength_reduction=False)),
+        ("full", CompilerOptions()),
+    ]
+    for vl in vector_lengths:
+        for procs in processors:
+            points.append((f"full-vl{vl}-p{procs}",
+                           CompilerOptions(vector_length=vl,
+                                           processors=procs)))
+    return points
+
+
+# ---------------------------------------------------------------------------
+# Results
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class VariantResult:
+    name: str
+    status: str  # "ok" | "reject" | "crash" | "divergence"
+    value: Optional[int] = None
+    phase: str = ""       # "compile" | "run" for failures
+    error_type: str = ""
+    error: str = ""
+
+    def to_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+
+@dataclass
+class DifferentialResult:
+    """The outcome of one program across every option point."""
+
+    name: str
+    source: str
+    status: str  # "ok" | "reject" | "crash" | "divergence"
+    reference: Optional[VariantResult] = None
+    variants: List[VariantResult] = field(default_factory=list)
+    seed: Optional[int] = None
+
+    @property
+    def failed(self) -> bool:
+        return self.status in ("crash", "divergence")
+
+    def failing_variants(self) -> List[VariantResult]:
+        return [v for v in self.variants if v.status != "ok"]
+
+    def signature(self) -> str:
+        """A stable failure identity used by the reducer: the reduced
+        program must fail the same way, not just fail."""
+        if self.status == "ok":
+            return "ok"
+        if self.reference is not None and self.reference.status != "ok":
+            return (f"{self.status}:reference:"
+                    f"{self.reference.error_type}")
+        worst = next((v for v in self.variants
+                      if v.status == self.status), None)
+        if worst is None:
+            return self.status
+        return f"{self.status}:{worst.phase}:{worst.error_type}"
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "seed": self.seed,
+            "status": self.status,
+            "signature": self.signature(),
+            "reference": None if self.reference is None
+            else self.reference.to_dict(),
+            "variants": [v.to_dict() for v in self.variants],
+        }
+
+
+# ---------------------------------------------------------------------------
+# Running one program
+# ---------------------------------------------------------------------------
+
+
+def _run_program(program, max_steps: int, order: str = "forward"
+                 ) -> int:
+    interp = Interpreter(program, max_steps=max_steps,
+                         parallel_order=order, seed=7)
+    value = interp.run("main")
+    return 0 if value is None else int(value)
+
+
+def run_source(source: str, name: str = "<fuzz>",
+               points: Optional[List[Tuple[str, CompilerOptions]]]
+               = None,
+               max_steps: int = 2_000_000,
+               seed: Optional[int] = None) -> DifferentialResult:
+    """Differentially test one C source string.
+
+    The reference is the unoptimized front-end IL; a reference-level
+    clean diagnostic classifies the whole program as ``reject`` (the
+    variants are then skipped — invalid input has no semantics to
+    compare).
+    """
+    result = DifferentialResult(name=name, source=source, status="ok",
+                                seed=seed)
+    try:
+        ref_program = compile_to_il(source, name)
+        ref_value = _run_program(ref_program, max_steps)
+    except Exception as exc:  # noqa: BLE001 — classification is the point
+        status = classify_exception(exc)
+        result.status = status
+        result.reference = VariantResult(
+            name="reference", status=status, phase="compile",
+            error_type=type(exc).__name__, error=str(exc))
+        return result
+    result.reference = VariantResult(name="reference", status="ok",
+                                     value=ref_value)
+
+    for point_name, options in (points or option_points()):
+        variant = _run_variant(source, name, point_name, options,
+                               ref_value, max_steps)
+        result.variants.append(variant)
+    if any(v.status == "crash" for v in result.variants):
+        result.status = "crash"
+    elif any(v.status in ("divergence", "reject")
+             for v in result.variants):
+        # A rejection of a program the reference accepted is a
+        # pipeline bug, not a diagnostic: treat it as a divergence
+        # from the reference's "this program is valid" verdict.
+        result.status = "divergence"
+    return result
+
+
+def _run_variant(source: str, name: str, point_name: str,
+                 options: CompilerOptions, ref_value: int,
+                 max_steps: int) -> VariantResult:
+    try:
+        compiled = compile_c(source, options)
+    except Exception as exc:  # noqa: BLE001
+        return VariantResult(name=point_name,
+                             status=classify_exception(exc),
+                             phase="compile",
+                             error_type=type(exc).__name__,
+                             error=str(exc))
+    # Parallel loops must be iteration-order independent; the sweep
+    # would be meaningless if we only ever ran them forward.
+    orders = ("forward", "reverse", "shuffle") \
+        if options.parallelize else ("forward",)
+    for order in orders:
+        try:
+            value = _run_program(compiled.program, max_steps, order)
+        except Exception as exc:  # noqa: BLE001
+            return VariantResult(name=f"{point_name}@{order}",
+                                 status="crash", phase="run",
+                                 error_type=type(exc).__name__,
+                                 error=str(exc))
+        if value != ref_value:
+            return VariantResult(name=f"{point_name}@{order}",
+                                 status="divergence", value=value,
+                                 phase="run")
+    return VariantResult(name=point_name, status="ok", value=ref_value)
+
+
+# ---------------------------------------------------------------------------
+# Fuzzing loops
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class FuzzReport:
+    seed: int
+    count: int
+    ok: int = 0
+    rejected: int = 0
+    divergences: int = 0
+    crashes: int = 0
+    failures: List[DifferentialResult] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return self.divergences == 0 and self.crashes == 0
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": "titancc-fuzz/1",
+            "seed": self.seed,
+            "count": self.count,
+            "ok": self.ok,
+            "rejected": self.rejected,
+            "divergences": self.divergences,
+            "crashes": self.crashes,
+            "failures": [f.to_dict() for f in self.failures],
+        }
+
+
+def fuzz(seed: int, count: int,
+         generator_options: Optional[GeneratorOptions] = None,
+         points: Optional[List[Tuple[str, CompilerOptions]]] = None,
+         max_steps: int = 2_000_000,
+         on_result: Optional[Callable[[DifferentialResult], None]]
+         = None) -> FuzzReport:
+    """Generate ``count`` programs from consecutive seeds and test
+    each differentially.  Generated programs are valid by construction,
+    so a reference-level rejection counts as a failure too: either the
+    generator or the front end is wrong, and both are worth a look."""
+    report = FuzzReport(seed=seed, count=count)
+    for offset in range(count):
+        program: GeneratedProgram = generate_program(
+            seed + offset, generator_options)
+        result = run_source(program.source,
+                            name=f"seed-{program.seed}",
+                            points=points, max_steps=max_steps,
+                            seed=program.seed)
+        if result.status == "ok":
+            report.ok += 1
+        elif result.status == "reject":
+            report.rejected += 1
+            report.failures.append(result)
+        elif result.status == "divergence":
+            report.divergences += 1
+            report.failures.append(result)
+        else:
+            report.crashes += 1
+            report.failures.append(result)
+        if on_result is not None:
+            on_result(result)
+    return report

@@ -1,0 +1,97 @@
+"""Greedy test-case reduction (line-granular delta debugging).
+
+Given a failing C source and a predicate ("does this still fail the
+same way?"), repeatedly try to delete contiguous line chunks — halving
+the chunk size ddmin-style down to single lines — and keep any deletion
+that preserves the failure.  A final pass squeezes blank lines.  The
+predicate owns the definition of "same way": the harness passes a
+closure comparing :meth:`DifferentialResult.signature`, so a reduction
+can never turn a vectorizer divergence into a mere parse error and
+still count as progress.
+
+Deleting arbitrary lines happily produces unbalanced braces; those
+candidates simply fail the predicate (the program now *rejects* instead
+of diverging) and are thrown away, which keeps the implementation an
+order of magnitude simpler than a grammar-aware reducer at the cost of
+some wasted compile attempts — the right trade for reproducers that
+are a few dozen lines long.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+
+def reduce_source(source: str,
+                  still_fails: Callable[[str], bool],
+                  max_rounds: int = 12) -> str:
+    """Shrink ``source`` while ``still_fails`` stays true.
+
+    ``still_fails(source)`` must be true on entry; the return value is
+    the smallest variant found (possibly the input itself).
+    """
+    if not still_fails(source):
+        raise ValueError("reduce_source: the input does not satisfy "
+                         "the failure predicate")
+    lines = source.splitlines()
+    for _ in range(max_rounds):
+        lines, changed = _one_round(lines, still_fails)
+        if not changed:
+            break
+    text = "\n".join(lines)
+    squeezed = _squeeze_blank_lines(text)
+    if squeezed != text and still_fails(squeezed):
+        text = squeezed
+    if not text.endswith("\n"):
+        text += "\n"
+    return text
+
+
+def _one_round(lines: List[str],
+               still_fails: Callable[[str], bool]
+               ) -> (List[str], bool):
+    changed = False
+    chunk = max(1, len(lines) // 2)
+    while chunk >= 1:
+        start = 0
+        while start < len(lines):
+            candidate = lines[:start] + lines[start + chunk:]
+            if candidate and still_fails("\n".join(candidate)):
+                lines = candidate
+                changed = True
+                # Do not advance: the next chunk slid into this slot.
+            else:
+                start += chunk
+        chunk //= 2
+    return lines, changed
+
+
+def _squeeze_blank_lines(text: str) -> str:
+    out: List[str] = []
+    for line in text.splitlines():
+        if line.strip() == "" and out and out[-1].strip() == "":
+            continue
+        out.append(line)
+    return "\n".join(out)
+
+
+def reduce_result(result, run,
+                  max_rounds: int = 12) -> Optional[str]:
+    """Reduce a failing :class:`DifferentialResult`.
+
+    ``run`` is a callable ``source -> DifferentialResult`` (typically
+    :func:`repro.fuzz.harness.run_source` with the same option points
+    the failure was found at).  Returns the minimized source, or None
+    if the failure does not reproduce on re-run (flaky — should not
+    happen with a deterministic oracle, but never hide it)."""
+    want = result.signature()
+    if want == "ok":
+        return None
+
+    def still_fails(text: str) -> bool:
+        return run(text).signature() == want
+
+    if not still_fails(result.source):
+        return None
+    return reduce_source(result.source, still_fails,
+                         max_rounds=max_rounds)

@@ -409,7 +409,9 @@ class ILFunction:
 @dataclass(eq=False)
 class GlobalVar:
     sym: Symbol
-    init: Optional[object] = None  # scalar constant or list of constants
+    # Scalar constant, list of constants, or a Symbol (the address of
+    # another global — how ``char *s = "abc";`` is initialized).
+    init: Optional[object] = None
 
 
 @dataclass(eq=False)

@@ -87,13 +87,22 @@ class Interpreter:
     # ------------------------------------------------------------------
 
     def _init_globals(self) -> None:
+        # Allocate every global before storing any initializer: an
+        # address-valued init (``char *s = "abc";`` lowers to the
+        # Symbol of the interned string) may refer to any other global.
         for g in self.program.globals:
-            addr = self.memory.allocate_symbol(g.sym)
+            self.memory.allocate_symbol(g.sym)
+        for g in self.program.globals:
             if g.init is None:
                 continue
-            self._store_init(addr, g.sym.ctype, g.init)
+            self._store_init(self.memory.address_of(g.sym),
+                             g.sym.ctype, g.init)
 
     def _store_init(self, addr: int, ctype: CType, init) -> None:
+        if isinstance(init, Symbol):
+            self.memory.store(addr, _scalar_type(ctype),
+                              self.memory.address_of(init))
+            return
         if isinstance(init, (int, float)):
             self.memory.store(addr, _scalar_type(ctype), init)
             return

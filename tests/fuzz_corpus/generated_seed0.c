@@ -1,0 +1,46 @@
+// expect: run
+// emitted by: python -m repro.fuzz --seed 0 --count 1
+// committed verbatim so corpus replay does not depend on
+// generator stability across refactors.
+int A[24];
+int B[24];
+int C[24];
+int g0 = 0;
+int g1 = -2;
+int g2 = -1;
+
+int h0(int x, int y)
+{
+    return ((y & 7) == -6);
+}
+
+int main(void)
+{
+    int i, n, chk;
+    int t0, t1;
+    int *p, *q;
+    t0 = 0; t1 = 0; n = 0;
+    for (i = 0; i < 24; i++) {
+        A[i] = (i * 7) % 13 - 6;
+        B[i] = (i * 5) % 11 - 3;
+        C[i] = i - 12;
+    }
+    t1 = ((g1 > -7) && ((g0 += 6) != 0)) ? g1 : g0;
+    t0 = t0 + h0((((8) ? (t0) : (g0)) << 0), ((g2 | 1) / 7));
+    for (i = 0; i < 24; i++) {
+        A[14] = i;
+    }
+    n = 4;
+    do {
+        n = n - 1;
+        g1 = (g1 ^ (8 | (3 > t1))) + n;
+    } while (n > 0);
+    chk = 0;
+    for (i = 0; i < 24; i++)
+        chk = chk * 31 + A[i] + B[i] * 3 + C[i] * 7;
+    chk = chk * 31 + g0;
+    chk = chk * 31 + g1;
+    chk = chk * 31 + g2;
+    chk = chk * 31 + t0 + t1;
+    return chk;
+}

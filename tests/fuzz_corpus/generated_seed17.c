@@ -1,0 +1,62 @@
+// expect: run
+// emitted by: python -m repro.fuzz --seed 17 --count 1
+// committed verbatim so corpus replay does not depend on
+// generator stability across refactors.
+int A[24];
+int B[24];
+int C[24];
+int g0 = -3;
+int g1 = 8;
+int g2 = 7;
+
+int h0(int x, int y)
+{
+    if (x > y)
+        return (x * y) + 2;
+    return y - x + 2;
+}
+
+int main(void)
+{
+    int i, n, chk;
+    int t0, t1;
+    int *p, *q;
+    t0 = 0; t1 = 0; n = 0;
+    for (i = 0; i < 24; i++) {
+        A[i] = (i * 7) % 13 - 6;
+        B[i] = (i * 5) % 11 - 3;
+        C[i] = i - 12;
+    }
+    for (i = 1; i < 23; i++) {
+        t0 = (C[i - 1] % 7);
+        if (((((-1 * t1) | h0(i, i))) & 7) == 5) continue;
+        A[i + 1] = (h0(-7, 7) - (((t0) ? (A[i - 1]) : (C[i - 1])) < i));
+        g0 = g0 + B[i];
+    }
+    n = 4;
+    while (n > 0) {
+        n = n - 1;
+        g2 = g2 + 2;
+        if (((((g0 * g0) > h0(t0, g1))) & 7) == 4) break;
+    }
+    for (i = 1; i < 12; i++) {
+        t0 = B[i - 1];
+        B[i] = C[i];
+        if (((h0((C[i + 1] < B[2 * i]), g0)) & 7) == 5) continue;
+        B[2 * i] = h0(((g2 | 6) - (t1 < B[20])), ((C[i] * B[16]) - i));
+        A[7] = (t0 + (g2 >> 2));
+        g0 = g0 + C[i];
+    }
+    for (i = 1; i < 24; i++) {
+        t0 = (i + ((3 ^ 4) + h0(t1, i)));
+        B[i - 1] = B[13];
+    }
+    chk = 0;
+    for (i = 0; i < 24; i++)
+        chk = chk * 31 + A[i] + B[i] * 3 + C[i] * 7;
+    chk = chk * 31 + g0;
+    chk = chk * 31 + g1;
+    chk = chk * 31 + g2;
+    chk = chk * 31 + t0 + t1;
+    return chk;
+}

@@ -1,0 +1,19 @@
+// expect: run
+// File-scope `char *s = "abc";` used to raise LoweringError
+// ("global initializer is not constant"); the literal is interned
+// and the global holds its address.  Unsized char arrays complete
+// their length from the literal.
+char *s = "abc";
+char msg[] = "hi";
+char buf[8] = "ok";
+
+int main(void) {
+    int chk = 0;
+    int i;
+    for (i = 0; s[i] != 0; i++) {
+        chk = chk * 31 + s[i];
+    }
+    chk = chk * 31 + msg[0] + msg[1];
+    chk = chk * 31 + buf[0] + buf[1] + buf[2];
+    return chk;
+}

@@ -1,0 +1,8 @@
+// expect: reject
+// "\x" with no hex digits used to raise a raw ValueError from
+// int("", 16) inside the lexer; it must be a clean LexError.
+char *s = "\x";
+
+int main(void) {
+    return 0;
+}

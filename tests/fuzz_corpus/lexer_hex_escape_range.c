@@ -1,0 +1,7 @@
+// expect: reject
+// A hex escape above 0xFF does not fit in a char; the lexer must
+// diagnose it (gcc/clang style) rather than truncate or crash.
+int main(void) {
+    int c = '\x1234';
+    return c;
+}

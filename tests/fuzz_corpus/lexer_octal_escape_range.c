@@ -1,0 +1,8 @@
+// expect: reject
+// \777 is 511 > 0xFF: out of range for a char, and "\8" would once
+// feed the digit 8 to int(..., 8).  Both must be clean LexErrors.
+char *s = "\777";
+
+int main(void) {
+    return 0;
+}

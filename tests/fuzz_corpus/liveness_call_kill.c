@@ -1,0 +1,19 @@
+// expect: run
+// Fuzz find (seed 9 of the first batch): liveness treated a call's
+// may-defs (every aliased global) as must-kills, so the store to g1
+// in the ternary arm looked dead across the call to h1 and
+// scalar-opt DCE deleted it.  A call may write an aliased symbol,
+// but it does not definitely overwrite it.
+int g0 = 2;
+int g1 = 5;
+
+int h1(int a, int b) {
+    return a * 3 - b;
+}
+
+int main(void) {
+    int t0;
+    t0 = (g0 > 1) ? (g1 += 6) : (g1 -= 6);
+    g1 = g1 + h1(g0, 3);
+    return g1 * 31 + t0;
+}

@@ -1,0 +1,168 @@
+"""Tests for the differential fuzzing subsystem (repro.fuzz).
+
+Three layers:
+
+* corpus replay — every ``tests/fuzz_corpus/*.c`` file carries an
+  ``// expect: run`` or ``// expect: reject`` first line and must
+  differentially match it at every option point;
+* fixed-seed smoke batch — a small deterministic slice of the space
+  the CI job covers at scale;
+* unit tests for the generator, harness classification, the reducer,
+  and the CLI.
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.fuzz import (CLEAN_REJECTIONS, GeneratorOptions,
+                        classify_exception, fuzz, generate_program,
+                        option_points, reduce_source, run_source)
+from repro.frontend.lexer import LexError
+from repro.frontend.parser import ParseError
+
+CORPUS_DIR = os.path.join(os.path.dirname(__file__), "fuzz_corpus")
+SRC_DIR = os.path.join(os.path.dirname(__file__), os.pardir, "src")
+
+
+def corpus_files():
+    return sorted(name for name in os.listdir(CORPUS_DIR)
+                  if name.endswith(".c"))
+
+
+def read_corpus(name):
+    with open(os.path.join(CORPUS_DIR, name)) as handle:
+        source = handle.read()
+    first = source.splitlines()[0]
+    assert first.startswith("// expect: "), \
+        f"{name} missing '// expect: run|reject' header"
+    return source, first.split("// expect: ", 1)[1].strip()
+
+
+class TestCorpusReplay:
+    @pytest.mark.parametrize("name", corpus_files())
+    def test_corpus_file(self, name):
+        source, expectation = read_corpus(name)
+        result = run_source(source, name=name, points=option_points())
+        if expectation == "run":
+            assert result.status == "ok", \
+                f"{name}: {result.signature()}"
+        else:
+            assert expectation == "reject"
+            assert result.status == "reject", \
+                f"{name}: expected a clean rejection, got " \
+                f"{result.signature()}"
+
+    def test_corpus_is_not_empty(self):
+        # The three frontend bugfix reproducers plus the liveness
+        # miscompile must stay committed.
+        names = corpus_files()
+        for required in ("lexer_hex_escape_empty.c",
+                         "lexer_hex_escape_range.c",
+                         "lexer_octal_escape_range.c",
+                         "global_string_init.c",
+                         "liveness_call_kill.c"):
+            assert required in names
+
+
+class TestSmokeBatch:
+    def test_fixed_seed_batch_is_clean(self):
+        report = fuzz(seed=100, count=12)
+        assert report.count == 12
+        assert report.divergences == 0, \
+            [f.signature() for f in report.failures]
+        assert report.crashes == 0, \
+            [f.signature() for f in report.failures]
+        # Generated programs are valid by construction.
+        assert report.rejected == 0
+        assert report.clean
+
+
+class TestGenerator:
+    def test_deterministic(self):
+        assert generate_program(42).source == generate_program(42).source
+
+    def test_seeds_differ(self):
+        assert generate_program(1).source != generate_program(2).source
+
+    def test_source_shape(self):
+        program = generate_program(5)
+        assert program.seed == 5
+        assert "int main(void)" in program.source
+        assert "return chk;" in program.source
+
+    def test_options_bound_blocks(self):
+        options = GeneratorOptions(min_blocks=1, max_blocks=1)
+        program = generate_program(5, options)
+        assert "int main(void)" in program.source
+
+
+class TestClassification:
+    def test_clean_rejections_classified_as_reject(self):
+        assert classify_exception(LexError("x", None)) == "reject"
+        assert classify_exception(ParseError("x", None)) == "reject"
+
+    def test_other_exceptions_are_crashes(self):
+        assert classify_exception(ValueError("boom")) == "crash"
+        assert classify_exception(KeyError("boom")) == "crash"
+
+    def test_clean_rejections_cover_frontend_diagnostics(self):
+        names = {cls.__name__ for cls in CLEAN_REJECTIONS}
+        assert {"LexError", "ParseError", "LoweringError"} <= names
+
+
+class TestRunSource:
+    def test_rejection_is_whole_program(self):
+        result = run_source('char *s = "\\x";\nint main(void) '
+                            '{ return 0; }\n')
+        assert result.status == "reject"
+        assert not result.failed
+
+    def test_ok_program_has_variant_values(self):
+        result = run_source("int main(void) { return 41 + 1; }\n")
+        assert result.status == "ok"
+        assert result.reference.value == 42
+        assert all(v.value == 42 for v in result.variants)
+
+
+class TestReducer:
+    def test_reduces_to_failing_core(self):
+        source = "\n".join(f"line{i}" for i in range(16)) + "\nNEEDLE\n"
+        reduced = reduce_source(source,
+                                lambda text: "NEEDLE" in text)
+        assert reduced.strip() == "NEEDLE"
+
+    def test_keeps_source_when_nothing_removable(self):
+        source = "a\nb\n"
+        reduced = reduce_source(source,
+                                lambda text: "a" in text and "b" in text)
+        assert "a" in reduced and "b" in reduced
+
+
+class TestCLI:
+    def _run(self, *argv, cwd=None):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.path.abspath(SRC_DIR)
+        return subprocess.run(
+            [sys.executable, "-m", "repro.fuzz", *argv],
+            capture_output=True, text=True, env=env, cwd=cwd)
+
+    def test_small_batch_exits_zero(self, tmp_path):
+        proc = self._run("--seed", "3", "--count", "2",
+                         "--out", str(tmp_path / "out"), "--quiet")
+        assert proc.returncode == 0, proc.stderr
+        summary = json.loads((tmp_path / "out" / "summary.json")
+                             .read_text())
+        assert summary["schema"] == "titancc-fuzz/1"
+        assert summary["count"] == 2
+        assert summary["divergences"] == 0
+        assert summary["crashes"] == 0
+
+    def test_replay_corpus_file(self):
+        path = os.path.join(CORPUS_DIR, "global_string_init.c")
+        proc = self._run("--replay", path)
+        assert proc.returncode == 0, proc.stderr
+        assert "ok" in proc.stdout

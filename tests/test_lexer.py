@@ -112,6 +112,37 @@ class TestCharAndString:
         with pytest.raises(L.LexError):
             L.tokenize("'a")
 
+    def test_hex_escape_without_digits_raises_lexerror(self):
+        # Regression: this used to escape as a raw ValueError from
+        # int('', 16) instead of a clean diagnostic.
+        with pytest.raises(L.LexError, match="no following hex digits"):
+            L.tokenize(r'"\x"')
+        with pytest.raises(L.LexError, match="no following hex digits"):
+            L.tokenize(r"'\x'")
+
+    def test_hex_escape_0xff_boundary(self):
+        assert L.tokenize(r"'\xff'")[0].int_value == 0xFF
+        assert L.tokenize(r'"\xff"')[0].value == "\xff"
+        with pytest.raises(L.LexError, match="out of range"):
+            L.tokenize(r"'\x100'")
+        with pytest.raises(L.LexError, match="out of range"):
+            L.tokenize(r'"\x1234"')
+
+    def test_octal_escape_0xff_boundary(self):
+        assert L.tokenize(r"'\377'")[0].int_value == 0xFF
+        assert L.tokenize(r'"\377"')[0].value == "\xff"
+        with pytest.raises(L.LexError, match="out of range"):
+            L.tokenize(r"'\400'")
+        with pytest.raises(L.LexError, match="out of range"):
+            L.tokenize(r'"\777"')
+
+    def test_octal_escape_rejects_digits_8_and_9(self):
+        # int('\8', 8) used to raise a raw ValueError.
+        with pytest.raises(L.LexError, match="octal"):
+            L.tokenize(r"'\8'")
+        with pytest.raises(L.LexError, match="octal"):
+            L.tokenize(r'"\9"')
+
 
 class TestPunctuators:
     def test_maximal_munch_shift_assign(self):

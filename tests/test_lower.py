@@ -264,6 +264,36 @@ class TestCallsAndGlobals:
         with pytest.raises(LoweringError):
             compile_to_il("int g(void); int x = g();")
 
+    def test_global_string_pointer_initializer(self):
+        # Regression: this raised "global initializer is not constant"
+        # although the identical declaration worked at block scope.
+        from repro.frontend.symtab import Symbol
+        program = compile_to_il('char *s = "abc";')
+        init = program.global_named("s").init
+        assert isinstance(init, Symbol)
+        assert program.global_named(init.name).init == [97, 98, 99, 0]
+
+    def test_global_char_array_string_initializer(self):
+        program = compile_to_il('char t[] = "hi";')
+        g = program.global_named("t")
+        assert g.init == [104, 105, 0]
+        assert g.sym.ctype.length == 3  # completed from the literal
+
+    def test_global_sized_char_array_string_initializer(self):
+        program = compile_to_il('char u[4] = "xy";')
+        assert program.global_named("u").init == [120, 121, 0, 0][:3]
+
+    def test_global_string_too_long_for_array_raises(self):
+        with pytest.raises(LoweringError):
+            compile_to_il('char u[2] = "abc";')
+
+    def test_global_string_pointer_runs_in_interpreter(self):
+        from repro.interp.interpreter import Interpreter
+        program = compile_to_il(
+            'char *s = "abc";\n'
+            'int main(void) { return s[0] + s[2]; }')
+        assert Interpreter(program).run("main") == ord("a") + ord("c")
+
 
 class TestSwitchLowering:
     def test_switch_dispatch_and_fallthrough(self):
