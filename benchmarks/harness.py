@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import json
 import os
+import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
@@ -103,24 +104,39 @@ def compile_and_simulate(source: str, entry: str,
                          scalars: Optional[Dict[str, float]] = None,
                          use_scheduler: Optional[bool] = None,
                          profile: bool = False,
+                         engine: str = "compiled",
                          record: Optional[str] = None) -> TitanReport:
+    compile_start = time.perf_counter()
     result = compile_c(source, options)
+    compile_seconds = time.perf_counter() - compile_start
     if use_scheduler is None:
         use_scheduler = options.reg_pipeline \
             or options.strength_reduction
     sim = TitanSimulator(result.program, config or TitanConfig(),
                          use_scheduler=use_scheduler,
                          schedules=result.schedules or None,
-                         profile=profile)
+                         profile=profile, engine=engine)
     for name, values in (arrays or {}).items():
         sim.set_global_array(name, values)
     for name, value in (scalars or {}).items():
         sim.set_global_scalar(name, value)
+    run_start = time.perf_counter()
     report = sim.run(entry)
+    run_seconds = time.perf_counter() - run_start
     if record:
         bench_name, _, variant = record.partition("/")
+        # Host-side throughput telemetry rides along with the simulated
+        # metrics.  ``host_*`` values are wall-clock and therefore
+        # machine-dependent; regress.py reports them but only gates on
+        # machine-independent ratios (``host_*speedup*``).
+        host = {"host_compile_seconds": compile_seconds,
+                "host_run_seconds": run_seconds}
+        if run_seconds > 0:
+            host["host_steps_per_sec"] = \
+                sim.interpreter.steps / run_seconds
+            host["host_cycles_per_sec"] = report.cycles / run_seconds
         record_bench(bench_name, variant or "default",
-                     report=report, result=result)
+                     report=report, result=result, metrics=host)
     return report
 
 

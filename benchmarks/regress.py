@@ -11,6 +11,13 @@ tolerance:
 * **higher is better** — ``mflops``, ``speedup*``, ``vectorized_loops``
   and every other metric.
 
+Metrics prefixed ``host_`` are wall-clock measurements of the host
+machine (compile seconds, interpreter steps/sec) — they are reported
+for trend-watching but never fail the gate, with one exception:
+``host_*speedup*`` ratios (compiled engine vs tree-walker) divide out
+machine speed, so they *are* gated, higher-is-better, with a looser
+tolerance (:data:`SPEEDUP_TOLERANCE`) that absorbs scheduler noise.
+
 A metric that moved in the *bad* direction by more than ``--tolerance``
 (relative, default 5%) is a regression and the gate exits non-zero —
 that is what fails CI.  Improvements and new metrics are reported but
@@ -39,6 +46,13 @@ BASELINE_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)),
                             "baselines")
 #: Metric-name prefixes where a *decrease* is an improvement.
 LOWER_IS_BETTER = ("cycles", "seconds")
+#: Host wall-clock metrics — machine-dependent, never gated (except
+#: speedup ratios, see below).
+HOST_PREFIX = "host_"
+#: Tolerance for host engine-speedup ratios; looser than the simulated
+#: metrics because even a ratio of two wall-clock times jitters with
+#: scheduler load.
+SPEEDUP_TOLERANCE = 0.35
 #: How many superseded metric snapshots --update keeps per bench.
 HISTORY_LIMIT = 20
 
@@ -86,6 +100,21 @@ def lower_is_better(metric: str) -> bool:
     return metric.startswith(LOWER_IS_BETTER)
 
 
+def metric_tolerance(metric: str, tolerance: float) -> float:
+    """Effective tolerance for one metric; ``inf`` = informational.
+
+    ``host_*`` wall-clock metrics never gate.  ``host_*speedup*``
+    ratios gate with the looser :data:`SPEEDUP_TOLERANCE` (they are
+    machine-independent but still jittery).  Everything else uses the
+    command-line tolerance.
+    """
+    if metric.startswith(HOST_PREFIX):
+        if "speedup" in metric:
+            return max(tolerance, SPEEDUP_TOLERANCE)
+        return float("inf")
+    return tolerance
+
+
 def relative_change(baseline: float, current: float) -> float:
     """Signed relative move; positive = increased."""
     if baseline == 0:
@@ -105,23 +134,30 @@ def compare(baselines: Dict[str, dict], current: Dict[str, dict],
             continue
         cur_variants = cur_doc.get("variants") or {}
         for variant, metric, base_value in iter_metrics(base_doc):
+            effective = metric_tolerance(metric, tolerance)
+            informational = effective == float("inf")
             cur_values = cur_variants.get(variant)
             if cur_values is None or metric not in cur_values:
-                regressions.append(
-                    f"{name}/{variant}: metric {metric} missing "
-                    f"from current run")
+                if not informational:
+                    regressions.append(
+                        f"{name}/{variant}: metric {metric} missing "
+                        f"from current run")
                 continue
             cur_value = float(cur_values[metric])
             change = relative_change(base_value, cur_value)
-            bad = change > tolerance if lower_is_better(metric) \
-                else change < -tolerance
+            bad = change > effective if lower_is_better(metric) \
+                else change < -effective
             arrow = f"{base_value:g} -> {cur_value:g} " \
                     f"({change * 100:+.1f}%)"
             if bad:
                 regressions.append(
                     f"{name}/{variant}: {metric} regressed: {arrow} "
-                    f"(tolerance {tolerance * 100:.0f}%)")
-            elif abs(change) > tolerance:
+                    f"(tolerance {effective * 100:.0f}%)")
+            elif informational:
+                if abs(change) > tolerance:
+                    print(f"regress: info (not gated) "
+                          f"{name}/{variant} {metric}: {arrow}")
+            elif abs(change) > effective:
                 print(f"regress: improvement {name}/{variant} "
                       f"{metric}: {arrow}")
     return regressions

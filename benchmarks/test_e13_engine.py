@@ -1,0 +1,154 @@
+"""E13 — closure-compiled engine vs the tree-walking oracle.
+
+Not a paper claim: this experiment gates the repo's own execution
+substrate.  The paper's compiler emitted native Titan code; our
+substitute interprets IL, so the interpreter's dispatch overhead is
+pure substrate tax.  The closure-compiled engine removes most of it —
+E13 measures by how much, on the three heaviest benchmark workloads,
+and proves the fast engine is *bit-identical* to the oracle on each.
+
+Speedup is measured in interpreter steps/sec (the engines execute the
+same dynamic step sequence, so steps/sec ratios equal wall-clock
+ratios with the measurement noise of two short runs divided out).
+Each engine gets one warm-up run — closure compilation is a one-time,
+per-function cost — then the best of several timed runs.
+"""
+
+import time
+
+from harness import O0, Row, print_table, record_bench
+from repro.interp import make_interpreter
+from repro.pipeline import compile_c
+from repro.titan.config import TitanConfig
+from repro.titan.simulator import TitanSimulator
+from repro.workloads.blas import caller_program
+from repro.workloads.graphics import identity_matrix, transform_points
+from repro.workloads.stencils import backsolve
+
+REPS = 5
+
+BACKSOLVE_N = 512
+DAXPY_N = 2048
+POINTS_N = 256
+
+
+def _workloads():
+    """(name, source, entry, args, globals-setup, output array) for
+    the three heaviest workloads, compiled at O0 so the measurement is
+    dispatch-bound scalar execution — the case the engine targets."""
+
+    def backsolve_setup(interp):
+        interp.set_global_array("x", [1.0] * BACKSOLVE_N)
+        interp.set_global_array(
+            "y", [i + 2.0 for i in range(BACKSOLVE_N)])
+        interp.set_global_array("z", [0.5] * BACKSOLVE_N)
+        interp.set_global_scalar("n", BACKSOLVE_N)
+
+    def daxpy_setup(interp):
+        interp.set_global_array("b", [1.0] * DAXPY_N)
+        interp.set_global_array("c", [2.0] * DAXPY_N)
+
+    def points_setup(interp):
+        interp.set_global_array("mat", identity_matrix())
+        for name in ("px", "py", "pz", "pw"):
+            interp.set_global_array(
+                name, [float(i % 7) for i in range(POINTS_N)])
+
+    return [
+        ("backsolve", backsolve(BACKSOLVE_N), "backsolve", (),
+         backsolve_setup, ("x", BACKSOLVE_N)),
+        ("daxpy", caller_program(n=DAXPY_N), "bench", (),
+         daxpy_setup, ("b", DAXPY_N)),
+        ("transform", transform_points(POINTS_N), "transform",
+         (POINTS_N,), points_setup, ("ox", POINTS_N)),
+    ]
+
+
+def _run_engine(program, engine, entry, args, setup, out_array):
+    """One engine's steady-state steps/sec plus everything needed for
+    the bit-identity check (result, stdout, step count, output)."""
+    interp = make_interpreter(program, engine=engine,
+                              max_steps=500_000_000)
+    setup(interp)
+    result = interp.run(entry, *args)  # warm-up: one-time compile
+    warm_steps = interp.steps
+    best = 0.0
+    steps = 0
+    for _ in range(REPS):
+        before = interp.steps
+        start = time.perf_counter()
+        interp.run(entry, *args)
+        elapsed = time.perf_counter() - start
+        steps = interp.steps - before
+        if elapsed > 0:
+            best = max(best, steps / elapsed)
+    name, count = out_array
+    return {
+        "steps_per_sec": best,
+        "result": result,
+        "stdout": interp.stdout,
+        "warm_steps": warm_steps,
+        "run_steps": steps,
+        "output": interp.global_array(name, count),
+    }
+
+
+def test_e13_engine_speedup():
+    # backsolve/daxpy are the ISSUE's named >=10x targets; transform's
+    # big straight-line expressions leave less dispatch to remove.
+    thresholds = {"backsolve": 10.0, "daxpy": 10.0, "transform": 7.0}
+    rows = []
+    for name, source, entry, args, setup, out in _workloads():
+        program = compile_c(source, O0).program
+        compiled = _run_engine(program, "compiled", entry, args,
+                               setup, out)
+        tree = _run_engine(program, "tree", entry, args, setup, out)
+
+        # Bit-identical observables: return value, stdout, dynamic
+        # step counts (warm-up and steady-state), and every element of
+        # the workload's output array.
+        for key in ("result", "stdout", "warm_steps", "run_steps",
+                    "output"):
+            assert compiled[key] == tree[key], \
+                f"{name}: engines disagree on {key}"
+
+        speedup = compiled["steps_per_sec"] / tree["steps_per_sec"]
+        record_bench("e13_engine", name, metrics={
+            "host_tree_steps_per_sec": tree["steps_per_sec"],
+            "host_compiled_steps_per_sec": compiled["steps_per_sec"],
+            "host_engine_speedup_steps": speedup,
+        })
+        rows.append(Row(
+            f"{name} engine speedup",
+            f">={thresholds[name]:.0f}x", f"{speedup:.1f}x",
+            speedup >= thresholds[name]))
+    print_table("E13: compiled engine vs tree-walker", rows)
+    assert all(r.ok for r in rows)
+
+
+def test_e13_cycle_stream_identical():
+    # With the cost hook installed both engines must drive the Titan
+    # model through the same event stream: cycle totals, per-class
+    # breakdown, and profiler attribution all match exactly.
+    source = backsolve(BACKSOLVE_N)
+    program = compile_c(source, O0).program
+    reports = {}
+    for engine in ("compiled", "tree"):
+        sim = TitanSimulator(program, TitanConfig(),
+                             use_scheduler=False, profile=True,
+                             engine=engine)
+        sim.set_global_array("x", [1.0] * BACKSOLVE_N)
+        sim.set_global_array("y",
+                             [i + 2.0 for i in range(BACKSOLVE_N)])
+        sim.set_global_array("z", [0.5] * BACKSOLVE_N)
+        sim.set_global_scalar("n", BACKSOLVE_N)
+        reports[engine] = sim.run("backsolve")
+    fast, oracle = reports["compiled"], reports["tree"]
+    assert fast.cycles == oracle.cycles
+    assert fast.counters == oracle.counters
+    assert fast.breakdown == oracle.breakdown
+    # Profiler sum-to-total invariant holds on the compiled path too.
+    profile = fast.profile
+    total = profile.toplevel_cycles + sum(l.cycles
+                                          for l in profile.loops)
+    assert total == fast.cycles == oracle.cycles

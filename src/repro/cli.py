@@ -26,6 +26,7 @@ from typing import List, Optional
 from .frontend.lower import compile_to_il
 from .il.printer import format_program
 from .inline.database import InlineDatabase
+from .interp import ENGINES
 from .obs.report import CompilationReport
 from .pipeline import CompilerOptions, TitanCompiler
 from .titan.config import TitanConfig
@@ -63,6 +64,11 @@ def build_arg_parser() -> argparse.ArgumentParser:
     parser.add_argument("--run", metavar="ENTRY",
                         help="simulate ENTRY() on the Titan model and "
                              "report cycles/MFLOPS")
+    parser.add_argument("--engine", choices=ENGINES,
+                        default="compiled",
+                        help="execution engine for --run: the "
+                             "closure-compiled fast path (default) or "
+                             "the tree-walking semantic oracle")
     parser.add_argument("--make-db", metavar="PATH",
                         help="save the parsed procedures as an inline "
                              "database instead of compiling")
@@ -182,7 +188,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.run:
         simulator = TitanSimulator(result.program, config,
                                    schedules=result.schedules or None,
-                                   profile=args.profile)
+                                   profile=args.profile,
+                                   engine=args.engine)
         sim_report = simulator.run(args.run)
         if sim_report.stdout:
             sys.stdout.write(sim_report.stdout)

@@ -14,7 +14,8 @@ from .generator import (GeneratedProgram, GeneratorOptions,
                         ProgramGenerator, generate_program)
 from .harness import (CLEAN_REJECTIONS, DifferentialResult, FuzzReport,
                       VariantResult, classify_exception, fuzz,
-                      option_points, run_source)
+                      fuzz_parallel, option_points, run_source,
+                      seed_chunks)
 from .reduce import reduce_result, reduce_source
 
 __all__ = [
@@ -27,9 +28,11 @@ __all__ = [
     "VariantResult",
     "classify_exception",
     "fuzz",
+    "fuzz_parallel",
     "generate_program",
     "option_points",
     "reduce_result",
     "reduce_source",
     "run_source",
+    "seed_chunks",
 ]

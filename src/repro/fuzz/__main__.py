@@ -3,8 +3,14 @@
 Examples::
 
     python -m repro.fuzz --seed 0 --count 200
+    python -m repro.fuzz --seed 0 --count 200 --jobs 4
     python -m repro.fuzz --seed 7 --count 50 --out fuzz-out
     python -m repro.fuzz --replay tests/fuzz_corpus/global_string_init.c
+
+``--jobs N`` fans the seed range out over N worker processes
+(contiguous per-worker seed chunks, merged deterministically back into
+seed order), so the summary is byte-identical to a sequential run;
+``summary.json`` additionally records per-worker wall times.
 
 With ``--out DIR`` every failure is minimized and written as
 ``DIR/repro_<name>.c`` (a self-contained one-command reproducer), and
@@ -22,10 +28,11 @@ import os
 import sys
 from typing import List, Optional
 
+from ..interp import ENGINES
 from ..obs.trace import jsonable
 from .generator import GeneratorOptions
-from .harness import (DifferentialResult, fuzz, option_points,
-                      run_source)
+from .harness import (DifferentialResult, fuzz, fuzz_parallel,
+                      option_points, run_source)
 from .reduce import reduce_result
 
 
@@ -46,6 +53,15 @@ def build_arg_parser() -> argparse.ArgumentParser:
                         default=[],
                         help="differentially test this .c file instead "
                              "of generating (repeatable)")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="fan the seed range out over N worker "
+                             "processes (default 1; the merged "
+                             "summary is identical either way)")
+    parser.add_argument("--engine", choices=ENGINES,
+                        default="compiled",
+                        help="execution engine for the optimized "
+                             "variants (the reference always runs on "
+                             "the tree-walking oracle)")
     parser.add_argument("--max-steps", type=int, default=2_000_000,
                         help="interpreter step budget per run")
     parser.add_argument("--max-blocks", type=int, default=5,
@@ -76,7 +92,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             result = run_source(source,
                                 name=os.path.basename(path),
                                 points=points,
-                                max_steps=args.max_steps)
+                                max_steps=args.max_steps,
+                                engine=args.engine)
             print(f"{path}: {result.status} "
                   f"({result.signature()})")
             if result.failed:
@@ -93,13 +110,38 @@ def main(argv: Optional[List[str]] = None) -> int:
                   f"({result.signature()})", file=sys.stderr)
 
     gen_options = GeneratorOptions(max_blocks=args.max_blocks)
-    report = fuzz(args.seed, args.count,
-                  generator_options=gen_options, points=points,
-                  max_steps=args.max_steps, on_result=on_result)
+    workers = None
+    if args.jobs > 1:
+        def on_chunk(chunk, seconds):
+            done[0] += chunk.count
+            if not args.quiet:
+                print(f"fuzz: worker chunk seed={chunk.seed} "
+                      f"({chunk.count} programs, {seconds:.1f}s, "
+                      f"{len(chunk.failures)} failure(s)) — "
+                      f"{done[0]}/{args.count}", file=sys.stderr)
+
+        report, workers = fuzz_parallel(
+            args.seed, args.count, args.jobs,
+            generator_options=gen_options, points=points,
+            max_steps=args.max_steps, engine=args.engine,
+            on_chunk=on_chunk)
+        if not args.quiet:
+            for failure in report.failures:
+                print(f"fuzz: {failure.name}: {failure.status} "
+                      f"({failure.signature()})", file=sys.stderr)
+    else:
+        report = fuzz(args.seed, args.count,
+                      generator_options=gen_options, points=points,
+                      max_steps=args.max_steps, on_result=on_result,
+                      engine=args.engine)
 
     if args.out:
         os.makedirs(args.out, exist_ok=True)
         summary = report.to_dict()
+        summary["engine"] = args.engine
+        summary["jobs"] = args.jobs
+        if workers is not None:
+            summary["workers"] = workers
         summary["reproducers"] = []
         for failure in report.failures:
             source = failure.source
@@ -107,7 +149,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                 minimized = reduce_result(
                     failure,
                     lambda text: run_source(text, points=points,
-                                            max_steps=args.max_steps))
+                                            max_steps=args.max_steps,
+                                            engine=args.engine))
                 if minimized is not None:
                     source = minimized
             path = os.path.join(args.out, f"repro_{failure.name}.c")

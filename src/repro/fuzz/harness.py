@@ -9,6 +9,13 @@ interpreter drives to the same ``main()`` return value, and for
 parallel loops the result must also be independent of the iteration
 order (forward / reverse / shuffle).
 
+The harness is also an *engine* differential: the reference runs on
+the tree-walking oracle (``engine="tree"``) while every variant runs
+on the closure-compiled engine by default, so each fuzz program
+cross-checks the two execution engines on top of the optimization
+sweep.  Pass ``engine="tree"`` to take the compiled engine out of the
+loop when bisecting a failure.
+
 Exception classification is the second half of the oracle.  The
 diagnostic types in :data:`CLEAN_REJECTIONS` are the front end doing
 its job on invalid input; anything else escaping ``compile`` is a
@@ -21,6 +28,8 @@ robustness property in ``tests/test_properties.py`` enforces.
 from __future__ import annotations
 
 import dataclasses
+import multiprocessing
+import time
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Sequence, Tuple
 
@@ -30,7 +39,7 @@ from ..frontend.lower import LoweringError, compile_to_il
 from ..frontend.parser import ParseError
 from ..frontend.preprocessor import PreprocessorError
 from ..frontend.symtab import SymbolError
-from ..interp.interpreter import Interpreter
+from ..interp.interpreter import make_interpreter
 from ..pipeline import CompilerOptions, compile_c
 from .generator import GeneratedProgram, GeneratorOptions, \
     generate_program
@@ -153,10 +162,11 @@ class DifferentialResult:
 # ---------------------------------------------------------------------------
 
 
-def _run_program(program, max_steps: int, order: str = "forward"
-                 ) -> int:
-    interp = Interpreter(program, max_steps=max_steps,
-                         parallel_order=order, seed=7)
+def _run_program(program, max_steps: int, order: str = "forward",
+                 engine: str = "compiled") -> int:
+    interp = make_interpreter(program, engine=engine,
+                              max_steps=max_steps,
+                              parallel_order=order, seed=7)
     value = interp.run("main")
     return 0 if value is None else int(value)
 
@@ -165,19 +175,24 @@ def run_source(source: str, name: str = "<fuzz>",
                points: Optional[List[Tuple[str, CompilerOptions]]]
                = None,
                max_steps: int = 2_000_000,
-               seed: Optional[int] = None) -> DifferentialResult:
+               seed: Optional[int] = None,
+               engine: str = "compiled") -> DifferentialResult:
     """Differentially test one C source string.
 
-    The reference is the unoptimized front-end IL; a reference-level
-    clean diagnostic classifies the whole program as ``reject`` (the
-    variants are then skipped — invalid input has no semantics to
-    compare).
+    The reference is the unoptimized front-end IL run on the
+    tree-walking oracle; a reference-level clean diagnostic classifies
+    the whole program as ``reject`` (the variants are then skipped —
+    invalid input has no semantics to compare).  ``engine`` selects
+    the execution engine for the *variants* only, so the default
+    configuration differentially tests both the optimizer and the
+    compiled engine against the oracle.
     """
     result = DifferentialResult(name=name, source=source, status="ok",
                                 seed=seed)
     try:
         ref_program = compile_to_il(source, name)
-        ref_value = _run_program(ref_program, max_steps)
+        ref_value = _run_program(ref_program, max_steps,
+                                 engine="tree")
     except Exception as exc:  # noqa: BLE001 — classification is the point
         status = classify_exception(exc)
         result.status = status
@@ -190,7 +205,7 @@ def run_source(source: str, name: str = "<fuzz>",
 
     for point_name, options in (points or option_points()):
         variant = _run_variant(source, name, point_name, options,
-                               ref_value, max_steps)
+                               ref_value, max_steps, engine)
         result.variants.append(variant)
     if any(v.status == "crash" for v in result.variants):
         result.status = "crash"
@@ -205,7 +220,8 @@ def run_source(source: str, name: str = "<fuzz>",
 
 def _run_variant(source: str, name: str, point_name: str,
                  options: CompilerOptions, ref_value: int,
-                 max_steps: int) -> VariantResult:
+                 max_steps: int,
+                 engine: str = "compiled") -> VariantResult:
     try:
         compiled = compile_c(source, options)
     except Exception as exc:  # noqa: BLE001
@@ -220,7 +236,8 @@ def _run_variant(source: str, name: str, point_name: str,
         if options.parallelize else ("forward",)
     for order in orders:
         try:
-            value = _run_program(compiled.program, max_steps, order)
+            value = _run_program(compiled.program, max_steps, order,
+                                 engine)
         except Exception as exc:  # noqa: BLE001
             return VariantResult(name=f"{point_name}@{order}",
                                  status="crash", phase="run",
@@ -270,7 +287,8 @@ def fuzz(seed: int, count: int,
          points: Optional[List[Tuple[str, CompilerOptions]]] = None,
          max_steps: int = 2_000_000,
          on_result: Optional[Callable[[DifferentialResult], None]]
-         = None) -> FuzzReport:
+         = None,
+         engine: str = "compiled") -> FuzzReport:
     """Generate ``count`` programs from consecutive seeds and test
     each differentially.  Generated programs are valid by construction,
     so a reference-level rejection counts as a failure too: either the
@@ -282,7 +300,7 @@ def fuzz(seed: int, count: int,
         result = run_source(program.source,
                             name=f"seed-{program.seed}",
                             points=points, max_steps=max_steps,
-                            seed=program.seed)
+                            seed=program.seed, engine=engine)
         if result.status == "ok":
             report.ok += 1
         elif result.status == "reject":
@@ -297,3 +315,85 @@ def fuzz(seed: int, count: int,
         if on_result is not None:
             on_result(result)
     return report
+
+
+def seed_chunks(seed: int, count: int, jobs: int
+                ) -> List[Tuple[int, int]]:
+    """Split ``count`` consecutive seeds into ``jobs`` contiguous
+    ``(start_seed, count)`` chunks.  Contiguity is what makes the
+    parallel run a pure repartition of the sequential one: every seed
+    is tested exactly once, by exactly one worker."""
+    jobs = max(1, min(jobs, count))
+    base, extra = divmod(count, jobs)
+    chunks: List[Tuple[int, int]] = []
+    start = seed
+    for index in range(jobs):
+        size = base + (1 if index < extra else 0)
+        if size:
+            chunks.append((start, size))
+            start += size
+    return chunks
+
+
+def _fuzz_worker(task: tuple) -> Tuple[FuzzReport, float]:
+    """Pool entry point: run one seed chunk, report its wall time."""
+    (seed, count, generator_options, points, max_steps,
+     engine) = task
+    start = time.perf_counter()
+    report = fuzz(seed, count, generator_options=generator_options,
+                  points=points, max_steps=max_steps, engine=engine)
+    return report, time.perf_counter() - start
+
+
+def fuzz_parallel(seed: int, count: int, jobs: int,
+                  generator_options: Optional[GeneratorOptions] = None,
+                  points: Optional[List[Tuple[str, CompilerOptions]]]
+                  = None,
+                  max_steps: int = 2_000_000,
+                  engine: str = "compiled",
+                  on_chunk: Optional[
+                      Callable[[FuzzReport, float], None]] = None
+                  ) -> Tuple[FuzzReport, List[dict]]:
+    """Like :func:`fuzz`, fanned out over ``jobs`` worker processes.
+
+    Seeds are split into contiguous chunks (:func:`seed_chunks`) and
+    the per-chunk reports are merged back *in seed order*, so the
+    merged report is byte-identical to a sequential :func:`fuzz` run
+    over the same range no matter how the workers were scheduled.
+    Returns the merged report plus one ``{"seed", "count", "seconds",
+    "failures"}`` timing entry per worker (in seed order) for the
+    summary artifact.  ``on_chunk`` fires in the parent as each worker
+    finishes (completion order), for progress reporting.
+    """
+    chunks = seed_chunks(seed, count, jobs)
+    finished: List[Tuple[FuzzReport, float]] = []
+    if len(chunks) <= 1:
+        finished.append(_fuzz_worker(
+            (seed, count, generator_options, points, max_steps,
+             engine)))
+        if on_chunk is not None:
+            on_chunk(*finished[0])
+    else:
+        tasks = [(start, size, generator_options, points, max_steps,
+                  engine) for start, size in chunks]
+        with multiprocessing.get_context().Pool(len(tasks)) as pool:
+            for chunk_report, seconds in pool.imap_unordered(
+                    _fuzz_worker, tasks):
+                if on_chunk is not None:
+                    on_chunk(chunk_report, seconds)
+                finished.append((chunk_report, seconds))
+    finished.sort(key=lambda pair: pair[0].seed)
+
+    merged = FuzzReport(seed=seed, count=count)
+    timings: List[dict] = []
+    for chunk_report, seconds in finished:
+        merged.ok += chunk_report.ok
+        merged.rejected += chunk_report.rejected
+        merged.divergences += chunk_report.divergences
+        merged.crashes += chunk_report.crashes
+        merged.failures.extend(chunk_report.failures)
+        timings.append({"seed": chunk_report.seed,
+                        "count": chunk_report.count,
+                        "seconds": seconds,
+                        "failures": len(chunk_report.failures)})
+    return merged, timings

@@ -1,0 +1,30 @@
+"""Execution engines for the IL.
+
+Two engines share one observable semantics:
+
+* :class:`~repro.interp.interpreter.Interpreter` — the tree-walking
+  semantic oracle (``engine="tree"``);
+* :class:`~repro.interp.compiled.CompiledInterpreter` — the
+  closure-compiled fast path (``engine="compiled"``).
+
+Use :func:`~repro.interp.interpreter.make_interpreter` to pick one by
+name.
+"""
+
+from .compiled import CompiledInterpreter
+from .interpreter import (ENGINES, Device, Interpreter, InterpreterError,
+                          StepLimitExceeded, make_interpreter, run_c)
+from .memory import Memory, MemoryError_
+
+__all__ = [
+    "CompiledInterpreter",
+    "Device",
+    "ENGINES",
+    "Interpreter",
+    "InterpreterError",
+    "Memory",
+    "MemoryError_",
+    "StepLimitExceeded",
+    "make_interpreter",
+    "run_c",
+]

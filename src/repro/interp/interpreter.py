@@ -65,6 +65,10 @@ class _Frame:
 
 
 class Interpreter:
+    #: Engine identifier surfaced in benchmark telemetry; the
+    #: closure-compiled subclass overrides it.
+    engine_name = "tree"
+
     def __init__(self, program: N.ILProgram, memory_size: int = 1 << 22,
                  max_steps: int = 10_000_000,
                  cost_hook: Optional[Callable[..., None]] = None,
@@ -73,7 +77,11 @@ class Interpreter:
         self.program = program
         self.memory = Memory(memory_size)
         self.max_steps = max_steps
-        self.steps = 0
+        # The one step counter, shared by every engine: a mutable cell
+        # so compiled closures and the tree walker charge the same
+        # budget (StepLimitExceeded must fire at the same dynamic op
+        # count regardless of engine).
+        self._step_cell: List[int] = [0]
         self.cost_hook = cost_hook
         self.parallel_order = parallel_order
         self._rng = random.Random(seed)
@@ -677,9 +685,18 @@ class Interpreter:
     # Bookkeeping
     # ------------------------------------------------------------------
 
+    @property
+    def steps(self) -> int:
+        return self._step_cell[0]
+
+    @steps.setter
+    def steps(self, value: int) -> None:
+        self._step_cell[0] = value
+
     def _tick(self) -> None:
-        self.steps += 1
-        if self.steps > self.max_steps:
+        cell = self._step_cell
+        cell[0] += 1
+        if cell[0] > self.max_steps:
             raise StepLimitExceeded(
                 f"exceeded {self.max_steps} steps (infinite loop?)")
 
@@ -809,14 +826,40 @@ def _trip_values(lo: Value, hi: Value, step: int) -> List[int]:
     return list(range(lo, hi - 1, step))
 
 
+#: Engine names accepted by :func:`make_interpreter` (and everything
+#: layered on it: TitanSimulator, the fuzz harness, the benchmark
+#: harness, the CLI).
+ENGINES = ("tree", "compiled")
+
+
+def make_interpreter(program: N.ILProgram, engine: str = "tree",
+                     **kwargs) -> Interpreter:
+    """Build an execution engine over one shared semantics.
+
+    ``engine="tree"`` is this module's tree-walking evaluator — the
+    semantic oracle.  ``engine="compiled"`` is the closure-compiled
+    engine (:mod:`repro.interp.compiled`): same results, same stdout,
+    same step accounting, same cost-event stream, ~an order of
+    magnitude faster.
+    """
+    if engine == "tree":
+        return Interpreter(program, **kwargs)
+    if engine == "compiled":
+        from .compiled import CompiledInterpreter
+        return CompiledInterpreter(program, **kwargs)
+    raise ValueError(
+        f"unknown interpreter engine {engine!r} (expected one of "
+        f"{', '.join(ENGINES)})")
+
+
 def run_c(source: str, entry: str = "main", *args: Value,
-          **kwargs) -> Interpreter:
+          engine: str = "tree", **kwargs) -> Interpreter:
     """Compile C text with the front end only and run it (no optimizer).
 
     Returns the interpreter so callers can inspect globals and output.
     """
     from ..frontend.lower import compile_to_il
     program = compile_to_il(source)
-    interp = Interpreter(program, **kwargs)
+    interp = make_interpreter(program, engine=engine, **kwargs)
     interp.run(entry, *args)
     return interp

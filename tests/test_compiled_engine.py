@@ -1,0 +1,188 @@
+"""Unit parity tests for the closure-compiled execution engine.
+
+``engine="compiled"`` must be observably indistinguishable from the
+tree-walking oracle: same results, same stdout, same step accounting,
+same cost-event stream, same errors at the same dynamic operation
+counts.  The broad sweeps live in ``test_engine_differential.py``;
+these tests pin the individual mechanisms (factory, step limits,
+uninitialized reads, devices, recursion, hook swapping).
+"""
+
+import pytest
+
+from repro.frontend.lower import compile_to_il
+from repro.interp import (CompiledInterpreter, ENGINES, Interpreter,
+                          InterpreterError, StepLimitExceeded,
+                          make_interpreter)
+
+
+def _both(source, entry="main", args=(), **kwargs):
+    """Run a program under both engines, returning the interpreters
+    and their results."""
+    program = compile_to_il(source, "<test>")
+    out = {}
+    for engine in ENGINES:
+        interp = make_interpreter(program, engine=engine, **kwargs)
+        out[engine] = (interp, interp.run(entry, *args))
+    return out
+
+
+class TestFactory:
+    def test_engine_names(self):
+        program = compile_to_il("int main(void) { return 1; }")
+        tree = make_interpreter(program, engine="tree")
+        fast = make_interpreter(program, engine="compiled")
+        assert type(tree) is Interpreter
+        assert type(fast) is CompiledInterpreter
+        assert tree.engine_name == "tree"
+        assert fast.engine_name == "compiled"
+
+    def test_unknown_engine_rejected(self):
+        program = compile_to_il("int main(void) { return 1; }")
+        with pytest.raises(ValueError, match="unknown interpreter "
+                                             "engine 'jit'"):
+            make_interpreter(program, engine="jit")
+
+    def test_engines_tuple(self):
+        assert ENGINES == ("tree", "compiled")
+
+
+class TestObservableParity:
+    def test_result_stdout_steps(self):
+        src = ('int main(void) { int i; int s; s = 0; '
+               'for (i = 0; i < 50; i++) s = s + i; '
+               'printf("%d\\n", s); return s; }')
+        out = _both(src)
+        (tree, tv), (fast, fv) = out["tree"], out["compiled"]
+        assert tv == fv == 1225
+        assert tree.stdout == fast.stdout == "1225\n"
+        assert tree.steps == fast.steps
+
+    def test_recursion(self):
+        src = ("int fib(int n) { if (n < 2) return n; "
+               "return fib(n-1) + fib(n-2); } "
+               "int main(void) { return fib(12); }")
+        out = _both(src)
+        (tree, tv), (fast, fv) = out["tree"], out["compiled"]
+        assert tv == fv == 144
+        assert tree.steps == fast.steps
+
+    def test_float_narrowing(self):
+        # f32 stores round through single precision in both engines.
+        src = ("float f; int main(void) { f = 0.1; "
+               "return (int)(f * 1e9); }")
+        out = _both(src)
+        assert out["tree"][1] == out["compiled"][1]
+
+    def test_cost_event_stream_identical(self):
+        src = ('float a[64], b[64]; '
+               'int main(void) { int i; '
+               'for (i = 0; i < 64; i++) a[i] = b[i] * 2.0f + 1.0f; '
+               'return 0; }')
+        program = compile_to_il(src, "<test>")
+        streams = {}
+        for engine in ENGINES:
+            events = []
+            interp = make_interpreter(
+                program, engine=engine,
+                cost_hook=lambda *event: events.append(event))
+            interp.run("main")
+            streams[engine] = events
+        assert streams["tree"] == streams["compiled"]
+        assert streams["tree"]  # non-empty: the hook really fired
+
+
+class TestErrorsAndLimits:
+    def test_step_limit_same_count(self):
+        src = "int main(void) { for (;;) ; return 0; }"
+        program = compile_to_il(src, "<test>")
+        outcomes = {}
+        for engine in ENGINES:
+            interp = make_interpreter(program, engine=engine,
+                                      max_steps=997)
+            with pytest.raises(StepLimitExceeded) as exc:
+                interp.run("main")
+            outcomes[engine] = (str(exc.value), interp.steps)
+        assert outcomes["tree"] == outcomes["compiled"]
+        assert outcomes["tree"][1] == 998  # the step that tripped
+
+    def test_uninitialized_read_same_message(self):
+        src = "int main(void) { int x; return x + 1; }"
+        program = compile_to_il(src, "<test>")
+        messages = {}
+        for engine in ENGINES:
+            interp = make_interpreter(program, engine=engine)
+            with pytest.raises(InterpreterError) as exc:
+                interp.run("main")
+            messages[engine] = str(exc.value)
+        assert messages["tree"] == messages["compiled"]
+
+    def test_null_deref_same_message(self):
+        src = ("int main(void) { int *p; p = 0; return *p; }")
+        program = compile_to_il(src, "<test>")
+        messages = {}
+        for engine in ENGINES:
+            interp = make_interpreter(program, engine=engine)
+            with pytest.raises(Exception) as exc:
+                interp.run("main")
+            messages[engine] = (type(exc.value).__name__,
+                                str(exc.value))
+        assert messages["tree"] == messages["compiled"]
+
+
+class TestDevicesAndHooks:
+    def test_volatile_device_reads(self):
+        src = ("volatile int status; int spins;"
+               "int main(void) { spins = 0; "
+               "while (!status) spins = spins + 1; return spins; }")
+        program = compile_to_il(src)
+        for engine in ENGINES:
+            interp = make_interpreter(program, engine=engine)
+            values = iter([0, 0, 0, 1])
+            interp.add_device("status", on_read=lambda: next(values))
+            assert interp.run("main") == 3
+
+    def test_volatile_device_write_order(self):
+        src = ("volatile int port;"
+               "int main(void) { port = 1; port = 2; port = 3; "
+               "return 0; }")
+        program = compile_to_il(src)
+        for engine in ENGINES:
+            interp = make_interpreter(program, engine=engine)
+            written = []
+            interp.add_device("port", on_write=written.append)
+            interp.run("main")
+            assert written == [1, 2, 3]
+
+    def test_hook_swap_recompiles(self):
+        # Hooks are compiled *into* the closures; installing one after
+        # a hook-free run must still produce the full event stream.
+        src = ("int main(void) { int i; int s; s = 0; "
+               "for (i = 0; i < 4; i++) s = s + i; return s; }")
+        program = compile_to_il(src, "<test>")
+        interp = make_interpreter(program, engine="compiled")
+        assert interp.run("main") == 6  # compiled without a hook
+        events = []
+        interp.cost_hook = lambda *event: events.append(event)
+        assert interp.run("main") == 6
+        reference = []
+        oracle = make_interpreter(
+            program, engine="tree",
+            cost_hook=lambda *event: reference.append(event))
+        oracle.run("main")
+        assert events == reference
+        assert events
+
+    def test_hook_removal_recompiles(self):
+        src = "int main(void) { return 41 + 1; }"
+        program = compile_to_il(src, "<test>")
+        events = []
+        interp = make_interpreter(
+            program, engine="compiled",
+            cost_hook=lambda *event: events.append(event))
+        assert interp.run("main") == 42
+        assert events
+        interp.cost_hook = None
+        events.clear()
+        assert interp.run("main") == 42
+        assert events == []

@@ -19,8 +19,9 @@ import sys
 import pytest
 
 from repro.fuzz import (CLEAN_REJECTIONS, GeneratorOptions,
-                        classify_exception, fuzz, generate_program,
-                        option_points, reduce_source, run_source)
+                        classify_exception, fuzz, fuzz_parallel,
+                        generate_program, option_points,
+                        reduce_source, run_source, seed_chunks)
 from repro.frontend.lexer import LexError
 from repro.frontend.parser import ParseError
 
@@ -166,3 +167,41 @@ class TestCLI:
         proc = self._run("--replay", path)
         assert proc.returncode == 0, proc.stderr
         assert "ok" in proc.stdout
+
+    def test_jobs_batch_records_worker_timings(self, tmp_path):
+        proc = self._run("--seed", "3", "--count", "4", "--jobs", "2",
+                         "--out", str(tmp_path / "out"), "--quiet")
+        assert proc.returncode == 0, proc.stderr
+        summary = json.loads((tmp_path / "out" / "summary.json")
+                             .read_text())
+        assert summary["count"] == 4
+        assert summary["jobs"] == 2
+        workers = summary["workers"]
+        assert [w["seed"] for w in workers] == [3, 5]
+        assert [w["count"] for w in workers] == [2, 2]
+        assert all(w["seconds"] > 0 for w in workers)
+
+
+class TestParallelFuzz:
+    def test_seed_chunks_partition(self):
+        assert seed_chunks(0, 10, 4) == [(0, 3), (3, 3), (6, 2),
+                                         (8, 2)]
+        assert seed_chunks(5, 3, 8) == [(5, 1), (6, 1), (7, 1)]
+        assert seed_chunks(9, 7, 1) == [(9, 7)]
+        # Every seed covered exactly once, in order.
+        chunks = seed_chunks(100, 23, 5)
+        seeds = [s for start, count in chunks
+                 for s in range(start, start + count)]
+        assert seeds == list(range(100, 123))
+
+    def test_parallel_merge_matches_sequential(self):
+        sequential = fuzz(11, 5).to_dict()
+        merged, timings = fuzz_parallel(11, 5, 2)
+        assert merged.to_dict() == sequential
+        assert [t["seed"] for t in timings] == [11, 14]
+        assert sum(t["count"] for t in timings) == 5
+
+    def test_single_job_runs_inline(self):
+        merged, timings = fuzz_parallel(11, 2, 1)
+        assert merged.to_dict() == fuzz(11, 2).to_dict()
+        assert len(timings) == 1 and timings[0]["count"] == 2

@@ -130,6 +130,57 @@ class TestRegressGate:
         assert regress.main(["--current", str(cur),
                              "--baselines", str(base)]) == 0
 
+    def test_host_metrics_are_informational(self, regress, tmp_path,
+                                            capsys):
+        # Wall-clock telemetry may drift arbitrarily without failing
+        # the gate — it is reported, not gated — and may even go
+        # missing (e.g. a zero-duration run records no rates).
+        base = tmp_path / "base"
+        cur = tmp_path / "cur"
+        _write_bench(base, "b", {"full": {
+            "host_compile_seconds": 1.0,
+            "host_steps_per_sec": 1000.0,
+            "host_cycles_per_sec": 500.0}})
+        _write_bench(cur, "b", {"full": {
+            "host_compile_seconds": 9.0,      # 9x slower: still OK
+            "host_steps_per_sec": 10.0}})     # rate gone + collapsed
+        assert regress.main(["--current", str(cur),
+                             "--baselines", str(base)]) == 0
+        assert "info (not gated)" in capsys.readouterr().out
+
+    def test_host_speedup_ratio_is_gated(self, regress, tmp_path,
+                                         capsys):
+        # Engine speedup ratios divide out machine speed, so they DO
+        # gate — with the looser SPEEDUP_TOLERANCE.
+        base = tmp_path / "base"
+        cur = tmp_path / "cur"
+        _write_bench(base, "b", {"full": {
+            "host_engine_speedup_steps": 12.0}})
+        within = 12.0 * (1 - regress.SPEEDUP_TOLERANCE) + 0.1
+        _write_bench(cur, "b", {"full": {
+            "host_engine_speedup_steps": within}})
+        assert regress.main(["--current", str(cur),
+                             "--baselines", str(base)]) == 0
+        _write_bench(cur, "b", {"full": {
+            "host_engine_speedup_steps": 2.0}})  # engine got slow
+        assert regress.main(["--current", str(cur),
+                             "--baselines", str(base)]) == 1
+        err = capsys.readouterr().err
+        assert "host_engine_speedup_steps regressed" in err
+        _write_bench(cur, "b", {"full": {}})  # speedup went missing
+        assert regress.main(["--current", str(cur),
+                             "--baselines", str(base)]) == 1
+
+    def test_metric_tolerance_rules(self, regress):
+        assert regress.metric_tolerance("cycles", 0.05) == 0.05
+        assert regress.metric_tolerance("host_run_seconds", 0.05) \
+            == float("inf")
+        assert regress.metric_tolerance("host_compile_seconds", 0.05) \
+            == float("inf")
+        assert regress.metric_tolerance(
+            "host_engine_speedup_steps", 0.05) \
+            == regress.SPEEDUP_TOLERANCE
+
     def test_cycle_improvement_passes(self, regress, tmp_path):
         base = tmp_path / "base"
         cur = tmp_path / "cur"
@@ -201,7 +252,7 @@ class TestCommittedBaselines:
 
     def test_baselines_present_and_versioned(self, regress):
         docs = regress.load_benches(regress.BASELINE_DIR)
-        assert len(docs) == 12
+        assert len(docs) == 13
         for name, doc in docs.items():
             assert doc["schema"] == regress.BENCH_SCHEMA
             assert doc["variants"], name
@@ -213,3 +264,13 @@ class TestCommittedBaselines:
         assert e1["full"]["cycles"] > 0
         assert "hottest_loop" in e1["full"]
         assert docs["e2_daxpy"]["variants"]["summary"]["speedup"] > 8
+
+    def test_engine_speedups_recorded(self, regress):
+        # The E13 acceptance criterion lives in the committed
+        # baselines: >=10x compiled-vs-tree on backsolve and daxpy.
+        docs = regress.load_benches(regress.BASELINE_DIR)
+        variants = docs["e13_engine"]["variants"]
+        for workload in ("backsolve", "daxpy"):
+            speedup = variants[workload]["host_engine_speedup_steps"]
+            assert speedup >= 10.0, (workload, speedup)
+        assert variants["transform"]["host_engine_speedup_steps"] > 0
