@@ -8,3 +8,10 @@ import os
 import sys
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "src"))
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-goldens", action="store_true", default=False,
+        help="rewrite the tests/golden/ IL snapshots from the current "
+             "compiler output instead of comparing against them")

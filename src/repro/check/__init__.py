@@ -1,0 +1,28 @@
+"""Pass-level correctness tooling: semantic checking and bisection.
+
+PRs 3–4 gave the project an end-to-end differential oracle (the fuzz
+harness compares every optimization level against the tree-walking
+interpreter on the front-end IL), but an end-to-end divergence only
+says *that* some pass miscompiled, never *which*.  This package closes
+that gap:
+
+* :mod:`repro.check.checker` — a :class:`~repro.pipeline.PipelineHook`
+  that snapshots the IL after every pass, re-validates the section
+  3/4 representation invariants on each snapshot, and (in execution
+  mode) runs each snapshot through the tree oracle so the first
+  semantics-changing pass is identified the moment it runs;
+* :mod:`repro.check.bisect` — the automatic miscompile bisector:
+  replay any failing program through the hooked pipeline and emit a
+  machine-readable culprit report (schema ``titancc-bisect/1``) with
+  the guilty pass, a before/after IL diff, the pass's remarks, and
+  the dependence edges the decision was made from;
+* :mod:`repro.check.inject` — deliberate-bug injection (e.g. flip a
+  loop bound after a chosen pass), the fixture that proves the
+  bisector convicts the right pass.
+"""
+
+from .bisect import (BISECT_SCHEMA, CulpritReport,  # noqa: F401
+                     bisect_source, crash_report, report_from_checker)
+from .checker import (ExecOutcome, PassChecker,  # noqa: F401
+                      PassSnapshot, outcome_differs, pass_registry)
+from .inject import InjectedBug, flip_loop_bound  # noqa: F401

@@ -14,6 +14,8 @@ Usage examples::
     titancc file.c --run main --profile   # hot-loop cycle attribution
     titancc file.c --report-json r.json   # full machine-readable report
     titancc file.c --dump-deps deps/      # dependence graphs (DOT+JSON)
+    titancc file.c --check-passes         # re-check IL after every pass
+    titancc file.c --bisect               # convict a miscompiling pass
 """
 
 from __future__ import annotations
@@ -101,6 +103,25 @@ def build_arg_parser() -> argparse.ArgumentParser:
     parser.add_argument("--print-lines", action="store_true",
                         help="annotate printed IL statements with "
                              "their C source lines")
+    parser.add_argument("--check-passes", action="store_true",
+                        help="snapshot the IL after every pass, "
+                             "re-validate it, and execute it on the "
+                             "tree oracle; prints the per-pass table "
+                             "to stderr and exits non-zero on the "
+                             "first divergence")
+    parser.add_argument("--check-entry", metavar="ENTRY",
+                        default="main",
+                        help="entry point the per-pass checker and "
+                             "the bisector execute (default: main)")
+    parser.add_argument("--bisect", action="store_true",
+                        help="replay the compile through the "
+                             "miscompile bisector and print the "
+                             "culprit verdict instead of IL; exits "
+                             "non-zero unless every pass checks out")
+    parser.add_argument("--bisect-json", metavar="PATH",
+                        help="write the bisection verdict (schema "
+                             "titancc-bisect/1) as JSON; implies "
+                             "--bisect")
     return parser
 
 
@@ -153,8 +174,31 @@ def main(argv: Optional[List[str]] = None) -> int:
                 origin[name] = path
             database.entries.update(loaded.entries)
 
-    compiler = TitanCompiler(options_from_args(args), database)
+    if args.bisect or args.bisect_json:
+        from .check.bisect import bisect_source
+        verdict = bisect_source(source, options_from_args(args),
+                                name=args.source,
+                                entry=args.check_entry,
+                                engine=args.engine,
+                                database=database)
+        print(verdict.format())
+        if args.bisect_json:
+            with open(args.bisect_json, "w") as handle:
+                handle.write(verdict.to_json() + "\n")
+            print(f"titancc: wrote bisection verdict to "
+                  f"{args.bisect_json}", file=sys.stderr)
+        return 0 if verdict.status == "clean" else 1
+
+    checker = None
+    if args.check_passes:
+        from .check.checker import PassChecker
+        checker = PassChecker(entry=args.check_entry)
+    compiler = TitanCompiler(options_from_args(args), database,
+                             hooks=(checker,) if checker else ())
     result = compiler.compile(source, args.source)
+
+    if checker is not None:
+        print(checker.format_table(), file=sys.stderr)
 
     if args.remarks:
         for remark in result.remarks:
@@ -204,7 +248,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     # dependence graphs, trace, simulation), so it is assembled last.
     report = CompilationReport.from_result(result, filename=args.source,
                                            titan_report=sim_report,
-                                           config=config)
+                                           config=config,
+                                           checker=checker)
     if args.stats:
         print("\n" + report.format_stats(), file=sys.stderr)
 
@@ -217,6 +262,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         result.trace.write(args.trace_json)
         print(f"titancc: wrote phase trace to {args.trace_json} "
               f"(open in chrome://tracing)", file=sys.stderr)
+    if checker is not None and checker.first_divergence() is not None:
+        divergence = checker.first_divergence()
+        print(f"titancc: pass check FAILED at {divergence.label}",
+              file=sys.stderr)
+        return 1
     return 0
 
 

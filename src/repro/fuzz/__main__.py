@@ -62,6 +62,12 @@ def build_arg_parser() -> argparse.ArgumentParser:
                         help="execution engine for the optimized "
                              "variants (the reference always runs on "
                              "the tree-walking oracle)")
+    parser.add_argument("--check-passes", action="store_true",
+                        help="compile every variant with the per-pass "
+                             "semantic checker installed: each pass's "
+                             "output is re-validated and executed on "
+                             "the tree oracle, attributing miscompiles "
+                             "to the guilty pass (slower)")
     parser.add_argument("--max-steps", type=int, default=2_000_000,
                         help="interpreter step budget per run")
     parser.add_argument("--max-blocks", type=int, default=5,
@@ -93,9 +99,16 @@ def main(argv: Optional[List[str]] = None) -> int:
                                 name=os.path.basename(path),
                                 points=points,
                                 max_steps=args.max_steps,
-                                engine=args.engine)
+                                engine=args.engine,
+                                check_passes=args.check_passes)
             print(f"{path}: {result.status} "
                   f"({result.signature()})")
+            for variant in result.variants:
+                if variant.culprit:
+                    print(f"{path}: bisect: {variant.name} -> "
+                          f"{variant.culprit['status']} "
+                          f"{variant.culprit['guilty_pass']}",
+                          file=sys.stderr)
             if result.failed:
                 failures.append(result)
         return 1 if failures else 0
@@ -124,7 +137,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             args.seed, args.count, args.jobs,
             generator_options=gen_options, points=points,
             max_steps=args.max_steps, engine=args.engine,
-            on_chunk=on_chunk)
+            check_passes=args.check_passes, on_chunk=on_chunk)
         if not args.quiet:
             for failure in report.failures:
                 print(f"fuzz: {failure.name}: {failure.status} "
@@ -133,7 +146,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         report = fuzz(args.seed, args.count,
                       generator_options=gen_options, points=points,
                       max_steps=args.max_steps, on_result=on_result,
-                      engine=args.engine)
+                      engine=args.engine,
+                      check_passes=args.check_passes)
 
     if args.out:
         os.makedirs(args.out, exist_ok=True)
@@ -143,14 +157,18 @@ def main(argv: Optional[List[str]] = None) -> int:
         if workers is not None:
             summary["workers"] = workers
         summary["reproducers"] = []
+        summary["bisections"] = []
         for failure in report.failures:
             source = failure.source
             if not args.no_reduce:
+                # Bisection off inside the reducer: every candidate
+                # re-test only needs the failure signature.
                 minimized = reduce_result(
                     failure,
                     lambda text: run_source(text, points=points,
                                             max_steps=args.max_steps,
-                                            engine=args.engine))
+                                            engine=args.engine,
+                                            bisect_failures=False))
                 if minimized is not None:
                     source = minimized
             path = os.path.join(args.out, f"repro_{failure.name}.c")
@@ -163,6 +181,21 @@ def main(argv: Optional[List[str]] = None) -> int:
             summary["reproducers"].append(path)
             if not args.quiet:
                 print(f"fuzz: wrote {path}", file=sys.stderr)
+            culprit = next((v.culprit for v in failure.variants
+                            if v.culprit), None)
+            if culprit is not None:
+                bisect_path = os.path.join(
+                    args.out, f"bisect_{failure.name}.json")
+                with open(bisect_path, "w") as handle:
+                    json.dump(jsonable(culprit), handle, indent=1,
+                              ensure_ascii=True)
+                    handle.write("\n")
+                summary["bisections"].append(bisect_path)
+                if not args.quiet:
+                    print(f"fuzz: wrote {bisect_path} "
+                          f"({culprit['status']}: "
+                          f"{culprit['guilty_pass'] or 'n/a'})",
+                          file=sys.stderr)
         with open(os.path.join(args.out, "summary.json"), "w") \
                 as handle:
             json.dump(jsonable(summary), handle, indent=1,

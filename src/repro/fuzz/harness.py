@@ -108,6 +108,9 @@ class VariantResult:
     phase: str = ""       # "compile" | "run" for failures
     error_type: str = ""
     error: str = ""
+    #: Bisection verdict (a ``titancc-bisect/1`` document) attached to
+    #: failing variants when the harness runs with bisection enabled.
+    culprit: Optional[dict] = None
 
     def to_dict(self) -> dict:
         return dataclasses.asdict(self)
@@ -176,7 +179,9 @@ def run_source(source: str, name: str = "<fuzz>",
                = None,
                max_steps: int = 2_000_000,
                seed: Optional[int] = None,
-               engine: str = "compiled") -> DifferentialResult:
+               engine: str = "compiled",
+               check_passes: bool = False,
+               bisect_failures: bool = True) -> DifferentialResult:
     """Differentially test one C source string.
 
     The reference is the unoptimized front-end IL run on the
@@ -186,6 +191,15 @@ def run_source(source: str, name: str = "<fuzz>",
     the execution engine for the *variants* only, so the default
     configuration differentially tests both the optimizer and the
     compiled engine against the oracle.
+
+    ``check_passes`` compiles every variant with a
+    :class:`~repro.check.checker.PassChecker` installed: each pass's
+    output is re-validated and executed on the tree oracle, so a
+    miscompile is caught (and attributed) at the first guilty pass
+    even when later passes happen to mask it end-to-end.
+    ``bisect_failures`` replays the first failing variant of an
+    end-to-end failure through the bisector so the result's JSON
+    carries a ``titancc-bisect/1`` culprit document.
     """
     result = DifferentialResult(name=name, source=source, status="ok",
                                 seed=seed)
@@ -203,9 +217,11 @@ def run_source(source: str, name: str = "<fuzz>",
     result.reference = VariantResult(name="reference", status="ok",
                                      value=ref_value)
 
-    for point_name, options in (points or option_points()):
+    pts = points or option_points()
+    for point_name, options in pts:
         variant = _run_variant(source, name, point_name, options,
-                               ref_value, max_steps, engine)
+                               ref_value, max_steps, engine,
+                               check_passes=check_passes)
         result.variants.append(variant)
     if any(v.status == "crash" for v in result.variants):
         result.status = "crash"
@@ -215,21 +231,46 @@ def run_source(source: str, name: str = "<fuzz>",
         # pipeline bug, not a diagnostic: treat it as a divergence
         # from the reference's "this program is valid" verdict.
         result.status = "divergence"
+    if bisect_failures and result.failed:
+        _bisect_first_failure(result, pts, max_steps, engine)
     return result
 
 
 def _run_variant(source: str, name: str, point_name: str,
                  options: CompilerOptions, ref_value: int,
                  max_steps: int,
-                 engine: str = "compiled") -> VariantResult:
+                 engine: str = "compiled",
+                 check_passes: bool = False) -> VariantResult:
+    checker = None
+    hooks: tuple = ()
+    if check_passes:
+        from ..check.checker import PassChecker
+        # collect_deps so a conviction can carry the dependence edges
+        # the guilty pass decided from.
+        options = dataclasses.replace(options, collect_deps=True)
+        checker = PassChecker(max_steps=max_steps)
+        hooks = (checker,)
     try:
-        compiled = compile_c(source, options)
+        compiled = compile_c(source, options, hooks=hooks)
     except Exception as exc:  # noqa: BLE001
-        return VariantResult(name=point_name,
-                             status=classify_exception(exc),
-                             phase="compile",
-                             error_type=type(exc).__name__,
-                             error=str(exc))
+        variant = VariantResult(name=point_name,
+                                status=classify_exception(exc),
+                                phase="compile",
+                                error_type=type(exc).__name__,
+                                error=str(exc))
+        if checker is not None and variant.status == "crash":
+            from ..check.bisect import crash_report
+            variant.culprit = crash_report(point_name, checker,
+                                           exc).to_dict()
+        return variant
+    if checker is not None:
+        from ..check.bisect import report_from_checker
+        report = report_from_checker(point_name, checker, compiled)
+        if report.status == "culprit":
+            return VariantResult(name=point_name, status="divergence",
+                                 phase="pass-check",
+                                 error=report.reason,
+                                 culprit=report.to_dict())
     # Parallel loops must be iteration-order independent; the sweep
     # would be meaningless if we only ever ran them forward.
     orders = ("forward", "reverse", "shuffle") \
@@ -248,6 +289,30 @@ def _run_variant(source: str, name: str, point_name: str,
                                  status="divergence", value=value,
                                  phase="run")
     return VariantResult(name=point_name, status="ok", value=ref_value)
+
+
+def _bisect_first_failure(result: DifferentialResult,
+                          points: List[Tuple[str, CompilerOptions]],
+                          max_steps: int, engine: str) -> None:
+    """Attach a ``titancc-bisect/1`` culprit document to the first
+    failing variant that does not already carry one (variants that
+    failed a pass check were attributed during the compile itself)."""
+    from ..check.bisect import bisect_source
+    by_name = dict(points)
+    for variant in result.variants:
+        if variant.status == "ok" or variant.culprit is not None:
+            continue
+        point_name, _, order = variant.name.partition("@")
+        options = by_name.get(point_name)
+        if options is None:
+            continue
+        report = bisect_source(result.source, options,
+                               name=f"{result.name}:{variant.name}",
+                               max_steps=max_steps,
+                               parallel_order=order or "forward",
+                               engine=engine)
+        variant.culprit = report.to_dict()
+        return
 
 
 # ---------------------------------------------------------------------------
@@ -288,7 +353,8 @@ def fuzz(seed: int, count: int,
          max_steps: int = 2_000_000,
          on_result: Optional[Callable[[DifferentialResult], None]]
          = None,
-         engine: str = "compiled") -> FuzzReport:
+         engine: str = "compiled",
+         check_passes: bool = False) -> FuzzReport:
     """Generate ``count`` programs from consecutive seeds and test
     each differentially.  Generated programs are valid by construction,
     so a reference-level rejection counts as a failure too: either the
@@ -300,7 +366,8 @@ def fuzz(seed: int, count: int,
         result = run_source(program.source,
                             name=f"seed-{program.seed}",
                             points=points, max_steps=max_steps,
-                            seed=program.seed, engine=engine)
+                            seed=program.seed, engine=engine,
+                            check_passes=check_passes)
         if result.status == "ok":
             report.ok += 1
         elif result.status == "reject":
@@ -338,10 +405,11 @@ def seed_chunks(seed: int, count: int, jobs: int
 def _fuzz_worker(task: tuple) -> Tuple[FuzzReport, float]:
     """Pool entry point: run one seed chunk, report its wall time."""
     (seed, count, generator_options, points, max_steps,
-     engine) = task
+     engine, check_passes) = task
     start = time.perf_counter()
     report = fuzz(seed, count, generator_options=generator_options,
-                  points=points, max_steps=max_steps, engine=engine)
+                  points=points, max_steps=max_steps, engine=engine,
+                  check_passes=check_passes)
     return report, time.perf_counter() - start
 
 
@@ -351,6 +419,7 @@ def fuzz_parallel(seed: int, count: int, jobs: int,
                   = None,
                   max_steps: int = 2_000_000,
                   engine: str = "compiled",
+                  check_passes: bool = False,
                   on_chunk: Optional[
                       Callable[[FuzzReport, float], None]] = None
                   ) -> Tuple[FuzzReport, List[dict]]:
@@ -370,12 +439,12 @@ def fuzz_parallel(seed: int, count: int, jobs: int,
     if len(chunks) <= 1:
         finished.append(_fuzz_worker(
             (seed, count, generator_options, points, max_steps,
-             engine)))
+             engine, check_passes)))
         if on_chunk is not None:
             on_chunk(*finished[0])
     else:
         tasks = [(start, size, generator_options, points, max_steps,
-                  engine) for start, size in chunks]
+                  engine, check_passes) for start, size in chunks]
         with multiprocessing.get_context().Pool(len(tasks)) as pool:
             for chunk_report, seconds in pool.imap_unordered(
                     _fuzz_worker, tasks):

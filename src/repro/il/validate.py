@@ -11,12 +11,20 @@ test suite re-validates after each pass:
 3. ``DoLoop`` steps are non-zero integer constants and loop variables
    are scalar integer symbols.
 4. Labels referenced by ``goto`` exist in the function.
-5. Statement ids are unique within a function.
+5. Statement ids are unique within a function — and, program-wide,
+   across functions (:func:`validate_unique_sids`), because loop
+   schedules and the hot-loop profiler key on sids globally.  The
+   pipeline re-checks this after the inliner (which clones statements
+   between functions) and the vectorizer (which rebuilds loop bodies),
+   the two passes that manufacture statements wholesale.
+6. ``Section`` references are well-formed: a non-zero integer stride,
+   integer-typed length and address expressions, and a scalar element
+   type (vector hardware moves scalars, not aggregates).
 """
 
 from __future__ import annotations
 
-from typing import List, Set
+from typing import Dict, List, Set
 
 from . import nodes as N
 
@@ -35,6 +43,37 @@ def _check_pure(expr: N.Expr, top: bool = True) -> None:
         return
     for child in expr.children():
         _check_pure(child, top=False)
+
+
+def _check_section(section: N.Section, where: str) -> None:
+    """Stride/bounds well-formedness of one vector section."""
+    if not isinstance(section.stride, int):
+        raise ILValidationError(
+            f"{where}: Section stride {section.stride!r} is not an "
+            "integer constant")
+    if section.stride == 0:
+        raise ILValidationError(f"{where}: Section with zero stride")
+    if section.addr is None:
+        raise ILValidationError(f"{where}: Section without an address")
+    if section.length is None:
+        raise ILValidationError(f"{where}: Section without a length")
+    if not section.length.ctype.is_integer:
+        raise ILValidationError(
+            f"{where}: Section length has non-integer type "
+            f"{section.length.ctype}")
+    if not section.addr.ctype.is_integer \
+            and not section.addr.ctype.is_pointer:
+        raise ILValidationError(
+            f"{where}: Section address has non-address type "
+            f"{section.addr.ctype}")
+
+
+def _check_sections(stmt: N.Stmt, fn_name: str) -> None:
+    where = f"{type(stmt).__name__} (sid {stmt.sid}) in {fn_name}"
+    for top in N.stmt_exprs(stmt):
+        for expr in N.walk_expr(top):
+            if isinstance(expr, N.Section):
+                _check_section(expr, where)
 
 
 def validate_function(fn: N.ILFunction) -> None:
@@ -64,6 +103,7 @@ def validate_function(fn: N.ILFunction) -> None:
                 raise ILValidationError(
                     "VectorAssign target must be a Section")
             _check_pure(stmt.value, top=False)
+            _check_pure(stmt.target, top=False)
         elif isinstance(stmt, N.VectorReduce):
             if not isinstance(stmt.target, N.VarRef):
                 raise ILValidationError(
@@ -92,7 +132,9 @@ def validate_function(fn: N.ILFunction) -> None:
             _check_pure(stmt.hi, top=False)
         elif isinstance(stmt, N.Return) and stmt.value is not None:
             _check_pure(stmt.value, top=False)
-        elif isinstance(stmt, N.ListParallelLoop):
+        if isinstance(stmt, (N.VectorAssign, N.VectorReduce)):
+            _check_sections(stmt, fn.name)
+        if isinstance(stmt, N.ListParallelLoop):
             if not stmt.ptr.ctype.is_pointer:
                 raise ILValidationError(
                     f"list loop variable {stmt.ptr.name} is not a "
@@ -110,6 +152,30 @@ def validate_function(fn: N.ILFunction) -> None:
         if label not in labels:
             raise ILValidationError(
                 f"goto to undefined label {label!r} in {fn.name}")
+
+
+def validate_unique_sids(program: N.ILProgram) -> None:
+    """Statement ids must be unique across the *whole program*.
+
+    Per-function uniqueness (checked by :func:`validate_function`) is
+    what use-def chains and the dependence graph need, but loop
+    schedules, the hot-loop profiler, and the bisector's culprit
+    reports all key on sids program-wide.  The inliner clones callee
+    statements into callers and the vectorizer rebuilds loop bodies,
+    so the pipeline re-checks this invariant right after both.
+    """
+    owner: Dict[int, str] = {}
+    for fn in program.functions.values():
+        for stmt in fn.all_statements():
+            prior = owner.get(stmt.sid)
+            if prior is not None and prior != fn.name:
+                raise ILValidationError(
+                    f"statement id {stmt.sid} appears in both "
+                    f"{prior} and {fn.name}")
+            if prior == fn.name:
+                raise ILValidationError(
+                    f"duplicate statement id {stmt.sid} in {fn.name}")
+            owner[stmt.sid] = fn.name
 
 
 def validate_program(program: N.ILProgram) -> None:

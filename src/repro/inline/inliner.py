@@ -20,6 +20,11 @@ exactly:
 
 from __future__ import annotations
 
+#: Canonical pass name used by the pipeline hook layer, the
+#: per-pass checker, and bisection culprit reports.
+PASS_NAME = "inline"
+PASS_DESCRIPTION = "inline expansion (section 7)"
+
 import itertools
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple

@@ -21,7 +21,10 @@ stream the compiler produces — the structured equivalent of LLVM's
   (vector startup per chunk, initiation intervals, memory-pipe
   pressure) and, when the program was simulated (``--run``), the
   measured cycle split (vector vs. scalar, memory-pipe share,
-  startup overhead) with an exact cycles decomposition.
+  startup overhead) with an exact cycles decomposition;
+* **pass_checks** — schema /2: when the compile ran with the per-pass
+  semantic checker (``--check-passes``), the per-pass snapshot table
+  (validated? executed? outcome?) and the first divergence if any.
 
 Bump :data:`REPORT_SCHEMA` when the document shape changes; consumers
 dispatch on it.
@@ -40,7 +43,7 @@ from ..titan.config import TitanConfig
 from .counters import CounterStore, counters_from_result
 from .trace import jsonable
 
-REPORT_SCHEMA = "titancc-report/1"
+REPORT_SCHEMA = "titancc-report/2"
 
 
 # ---------------------------------------------------------------------------
@@ -296,6 +299,24 @@ def titan_section(result, config: Optional[TitanConfig] = None,
 
 
 # ---------------------------------------------------------------------------
+# Pass checks (--check-passes)
+# ---------------------------------------------------------------------------
+
+
+def pass_checks_section(checker) -> Dict[str, object]:
+    """Serialize a :class:`repro.check.checker.PassChecker`'s findings
+    for the report: the per-pass snapshot table plus the first
+    divergence (or ``None`` when every pass checked out)."""
+    divergence = checker.first_divergence()
+    return {
+        "snapshots": checker.to_records(),
+        "executions": checker.executions,
+        "divergence": divergence.to_dict()
+        if divergence is not None else None,
+    }
+
+
+# ---------------------------------------------------------------------------
 # The report
 # ---------------------------------------------------------------------------
 
@@ -312,13 +333,17 @@ class CompilationReport:
     dep_graphs: List[object] = field(default_factory=list)
     trace_events: List[object] = field(default_factory=list)
     titan: Dict[str, object] = field(default_factory=dict)
+    #: Per-pass semantic-check results (``--check-passes``): ``None``
+    #: when the compile ran unchecked, else ``{"snapshots": [...],
+    #: "executions": n, "divergence": {...}|None}``.
+    pass_checks: Optional[Dict[str, object]] = None
     schema: str = REPORT_SCHEMA
 
     @classmethod
     def from_result(cls, result, filename: Optional[str] = None,
                     titan_report=None,
-                    config: Optional[TitanConfig] = None
-                    ) -> "CompilationReport":
+                    config: Optional[TitanConfig] = None,
+                    checker=None) -> "CompilationReport":
         return cls(
             source=filename or result.remarks.filename,
             options=dataclasses.asdict(result.options),
@@ -328,6 +353,8 @@ class CompilationReport:
             dep_graphs=list(result.dep_graphs),
             trace_events=list(result.trace.events),
             titan=titan_section(result, config, titan_report),
+            pass_checks=pass_checks_section(checker)
+            if checker is not None else None,
         )
 
     # -- queries -------------------------------------------------------
@@ -368,6 +395,7 @@ class CompilationReport:
                 for e in self.trace_events
             ],
             "titan": jsonable(self.titan),
+            "pass_checks": jsonable(self.pass_checks),
         }
 
     def to_json(self, indent: Optional[int] = 1) -> str:

@@ -32,6 +32,11 @@ and that nothing else exits the loop.
 
 from __future__ import annotations
 
+#: Canonical pass name used by the pipeline hook layer, the
+#: per-pass checker, and bisection culprit reports.
+PASS_NAME = "cond-split"
+PASS_DESCRIPTION = "termination splitting of search loops (section 5.2)"
+
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 

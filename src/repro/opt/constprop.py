@@ -23,6 +23,11 @@ DCE), matching the paper's division of labour.
 
 from __future__ import annotations
 
+#: Canonical pass name used by the pipeline hook layer, the
+#: per-pass checker, and bisection culprit reports.
+PASS_NAME = "constprop"
+PASS_DESCRIPTION = "constant propagation + unreachable pruning (section 8)"
+
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Set, Union
 

@@ -15,6 +15,11 @@ specific call site.  This pass removes:
 
 from __future__ import annotations
 
+#: Canonical pass name used by the pipeline hook layer, the
+#: per-pass checker, and bisection culprit reports.
+PASS_NAME = "deadcode"
+PASS_DESCRIPTION = "dead-code elimination (section 8)"
+
 from dataclasses import dataclass
 from typing import Dict, List, Sequence, Set
 

@@ -8,6 +8,11 @@ division truncates toward zero; comparisons yield int 0/1.
 
 from __future__ import annotations
 
+#: Canonical pass name used by the pipeline hook layer, the
+#: per-pass checker, and bisection culprit reports.
+PASS_NAME = "fold"
+PASS_DESCRIPTION = "constant folding / algebraic simplification"
+
 from typing import Optional, Union
 
 from ..frontend.ctypes_ import CType, FloatType, INT, IntType, PointerType

@@ -20,6 +20,11 @@ the pass/backtrack counts that experiment E5 reports.
 
 from __future__ import annotations
 
+#: Canonical pass name used by the pipeline hook layer, the
+#: per-pass checker, and bisection culprit reports.
+PASS_NAME = "forward-sub"
+PASS_DESCRIPTION = "forward substitution with blocking/backtracking (section 5.3)"
+
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set
 

@@ -23,6 +23,11 @@ The worst case is n passes over the loop; in practice one suffices
 
 from __future__ import annotations
 
+#: Canonical pass name used by the pipeline hook layer, the
+#: per-pass checker, and bisection culprit reports.
+PASS_NAME = "ivsub"
+PASS_DESCRIPTION = "induction-variable substitution (section 5.3)"
+
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 

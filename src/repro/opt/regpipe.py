@@ -23,6 +23,11 @@ which is precisely the paper's section 6 output shape.
 
 from __future__ import annotations
 
+#: Canonical pass name used by the pipeline hook layer, the
+#: per-pass checker, and bisection culprit reports.
+PASS_NAME = "reg-pipeline"
+PASS_DESCRIPTION = "register pipelining (section 6)"
+
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 

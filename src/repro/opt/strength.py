@@ -28,6 +28,11 @@ vectorizer claimed.
 
 from __future__ import annotations
 
+#: Canonical pass name used by the pipeline hook layer, the
+#: per-pass checker, and bisection culprit reports.
+PASS_NAME = "strength"
+PASS_DESCRIPTION = "strength reduction of addressing (section 6)"
+
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 

@@ -10,6 +10,11 @@ is unreachable are deleted wholesale.
 
 from __future__ import annotations
 
+#: Canonical pass name used by the pipeline hook layer, the
+#: per-pass checker, and bisection culprit reports.
+PASS_NAME = "unreachable"
+PASS_DESCRIPTION = "basic-block unreachable elimination (E7 baseline)"
+
 from dataclasses import dataclass
 from typing import List, Sequence, Set
 

@@ -34,6 +34,11 @@ the ablation experiment compares the two policies.
 
 from __future__ import annotations
 
+#: Canonical pass name used by the pipeline hook layer, the
+#: per-pass checker, and bisection culprit reports.
+PASS_NAME = "while-to-do"
+PASS_DESCRIPTION = "while->DO conversion (section 4)"
+
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 

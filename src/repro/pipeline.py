@@ -21,13 +21,14 @@ the dumps against the transcripts printed in the paper.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence
 
 from .frontend.lower import compile_to_il
 from .il import nodes as N
 from .il.printer import format_function, format_program
-from .il.validate import validate_program
+from .il.validate import validate_program, validate_unique_sids
 from .inline.database import InlineDatabase
 from .inline.inliner import InlineOptions, InlineStats, inline_program
 from .obs.remarks import RemarkCollector
@@ -72,6 +73,36 @@ class CompilerOptions:
     # from), for --dump-deps / --report-json.  Off by default — graph
     # construction per loop nest is pure overhead otherwise.
     collect_deps: bool = False
+
+
+class PipelineHook:
+    """Observe the pipeline pass-by-pass.
+
+    The driver notifies every installed hook around each transforming
+    pass: ``before_pass`` right before the pass runs (so a crash inside
+    the pass can be attributed to it) and ``after_pass`` with the live,
+    just-transformed program.  Pass names are the ``PASS_NAME``
+    constants the pass modules export ("while-to-do", "ivsub",
+    "constprop", ...); ``function`` is the function the pass ran on
+    (empty for whole-program passes like the inliner) and ``round_no``
+    is the 1-based scalar-optimization round.
+
+    Hooks observe — they are the substrate for the per-pass semantic
+    checker (:mod:`repro.check.checker`) and the miscompile bisector
+    (:mod:`repro.check.bisect`) — but a hook *may* mutate the program
+    (that is how :class:`repro.check.inject.InjectedBug` plants
+    deliberate miscompiles for testing the bisector).  With no hooks
+    installed the pipeline takes the exact pre-hook code path: the
+    default compile is observation-free.
+    """
+
+    def before_pass(self, name: str, function: str = "",
+                    round_no: int = 0) -> None:
+        """Called right before pass ``name`` runs."""
+
+    def after_pass(self, name: str, program: N.ILProgram,
+                   function: str = "", round_no: int = 0) -> None:
+        """Called right after pass ``name`` transformed ``program``."""
 
 
 @dataclass
@@ -126,9 +157,27 @@ class TitanCompiler:
     IL program out, ready for the Titan simulator."""
 
     def __init__(self, options: Optional[CompilerOptions] = None,
-                 database: Optional[InlineDatabase] = None):
+                 database: Optional[InlineDatabase] = None,
+                 hooks: Sequence[PipelineHook] = ()):
         self.options = options or CompilerOptions()
         self.database = database
+        self.hooks: tuple = tuple(hooks)
+
+    # ------------------------------------------------------------------
+
+    @contextmanager
+    def _pass(self, name: str, program: N.ILProgram,
+              function: str = "", round_no: int = 0):
+        """Notify hooks around one pass.  With no hooks installed this
+        is a no-op wrapper (the default path stays observation-free).
+        If the pass raises, ``after_pass`` is *not* delivered — the
+        pending ``before_pass`` is how the bisector attributes compiler
+        crashes to the pass that was running."""
+        for hook in self.hooks:
+            hook.before_pass(name, function, round_no)
+        yield
+        for hook in self.hooks:
+            hook.after_pass(name, program, function, round_no)
 
     # ------------------------------------------------------------------
 
@@ -154,8 +203,11 @@ class TitanCompiler:
         remarks = result.remarks
         trace = result.trace
         self._dump(result, "front-end")
+        for hook in self.hooks:
+            hook.after_pass("front-end", program)
         if opts.inline:
-            with trace.span("inline") as args:
+            with trace.span("inline") as args, \
+                    self._pass("inline", program):
                 result.inline_stats = inline_program(
                     program, self.database,
                     InlineOptions(
@@ -164,12 +216,17 @@ class TitanCompiler:
                     remarks=remarks)
                 args["sites_inlined"] = result.inline_stats.sites_inlined
                 args["statements"] = _program_statements(program)
+            # The inliner clones callee statements into callers; a
+            # stale sid would corrupt schedules and profiles keyed on
+            # program-wide statement identity.
+            validate_unique_sids(program)
             self._dump(result, "inline")
         if opts.scalar_opt:
             for round_no in range(opts.scalar_opt_rounds):
                 with trace.span(f"scalar-opt round {round_no + 1}") \
                         as args:
-                    self._scalar_round(program, result, remarks)
+                    self._scalar_round(program, result, remarks,
+                                       round_no + 1)
                     args["statements"] = _program_statements(program)
             self._dump(result, "scalar-opt")
         if opts.collect_deps:
@@ -189,11 +246,13 @@ class TitanCompiler:
                 assume_no_alias=opts.fortran_pointer_semantics)
             with trace.span("vectorize") as args:
                 for name, fn in program.functions.items():
-                    vectorizer = Vectorizer(program.symtab, voptions,
-                                            remarks=remarks)
-                    stats = vectorizer.run(fn)
-                    result.vectorize_stats[name] = _merge_vec_stats(
-                        result.vectorize_stats.get(name), stats)
+                    with self._pass("vectorize", program, name):
+                        vectorizer = Vectorizer(program.symtab,
+                                                voptions,
+                                                remarks=remarks)
+                        stats = vectorizer.run(fn)
+                        result.vectorize_stats[name] = _merge_vec_stats(
+                            result.vectorize_stats.get(name), stats)
                 args["loops_vectorized"] = sum(
                     s.loops_vectorized
                     for s in result.vectorize_stats.values())
@@ -201,14 +260,20 @@ class TitanCompiler:
                     s.loops_parallelized
                     for s in result.vectorize_stats.values())
                 args["statements"] = _program_statements(program)
+            # The vectorizer rebuilds loop bodies as vector statements
+            # and strip loops; re-check program-wide sid uniqueness on
+            # the vector IL too.
+            validate_unique_sids(program)
             self._dump(result, "vectorize")
         if opts.parallelize_lists:
             from .vectorize.listparallel import ListParallelizer
             with trace.span("list-parallel") as args:
                 for name, fn in program.functions.items():
-                    parallelizer = ListParallelizer()
-                    parallelizer.run(fn)
-                    result.listparallel_stats[name] = parallelizer.stats
+                    with self._pass("list-parallel", program, name):
+                        parallelizer = ListParallelizer()
+                        parallelizer.run(fn)
+                        result.listparallel_stats[name] = \
+                            parallelizer.stats
                 args["statements"] = _program_statements(program)
             self._dump(result, "list-parallel")
         if opts.reg_pipeline or opts.strength_reduction:
@@ -218,10 +283,11 @@ class TitanCompiler:
             if opts.reg_pipeline:
                 with trace.span("reg-pipeline") as args:
                     for name, fn in program.functions.items():
-                        pipe = RegisterPipelining(program.symtab,
-                                                  remarks=remarks)
-                        pipe.run(fn)
-                        result.regpipe_stats[name] = pipe.stats
+                        with self._pass("reg-pipeline", program, name):
+                            pipe = RegisterPipelining(program.symtab,
+                                                      remarks=remarks)
+                            pipe.run(fn)
+                            result.regpipe_stats[name] = pipe.stats
                     args["loads_replaced"] = sum(
                         s.loads_replaced
                         for s in result.regpipe_stats.values())
@@ -233,16 +299,18 @@ class TitanCompiler:
             with trace.span("schedule") as args:
                 scheduler = LoopScheduler(remarks=remarks)
                 for name, fn in program.functions.items():
-                    scheduler.run(fn)
+                    with self._pass("schedule", program, name):
+                        scheduler.run(fn)
                 result.schedules = scheduler.schedules
                 args["loops_scheduled"] = len(result.schedules)
             if opts.strength_reduction:
                 with trace.span("strength-reduction") as args:
                     for name, fn in program.functions.items():
-                        red = StrengthReduction(program.symtab,
-                                                remarks=remarks)
-                        red.run(fn)
-                        result.strength_stats[name] = red.stats
+                        with self._pass("strength", program, name):
+                            red = StrengthReduction(program.symtab,
+                                                    remarks=remarks)
+                            red.run(fn)
+                            result.strength_stats[name] = red.stats
                     args["addresses_reduced"] = sum(
                         s.addresses_reduced
                         for s in result.strength_stats.values())
@@ -250,7 +318,8 @@ class TitanCompiler:
         if opts.scalar_opt:
             with trace.span("final-dce") as args:
                 for name, fn in program.functions.items():
-                    eliminate_dead_code(fn, program.globals)
+                    with self._pass("deadcode", program, name):
+                        eliminate_dead_code(fn, program.globals)
                 args["statements"] = _program_statements(program)
             self._dump(result, "final")
         with trace.span("validate"):
@@ -261,36 +330,44 @@ class TitanCompiler:
 
     def _scalar_round(self, program: N.ILProgram,
                       result: CompilationResult,
-                      remarks: Optional[RemarkCollector] = None) -> None:
+                      remarks: Optional[RemarkCollector] = None,
+                      round_no: int = 0) -> None:
         opts = self.options
         for name, fn in program.functions.items():
             # Copy propagation first, so while conditions that test a
             # front-end temp (`while (temp != 0)`) expose the variable.
-            for lst in utils.each_stmt_list(fn.body):
-                forward_substitute(lst, aggressive=False)
-            wstats = WhileToDo(program.symtab,
-                               strict=opts.strict_while_conversion,
-                               remarks=remarks).run(fn)
+            with self._pass("forward-sub", program, name, round_no):
+                for lst in utils.each_stmt_list(fn.body):
+                    forward_substitute(lst, aggressive=False)
+            with self._pass("while-to-do", program, name, round_no):
+                wstats = WhileToDo(program.symtab,
+                                   strict=opts.strict_while_conversion,
+                                   remarks=remarks).run(fn)
             _merge(result.while_to_do_stats, name, wstats,
                    ("examined", "converted"))
             if opts.split_termination:
                 from .opt.cond_split import TerminationSplitter
-                splitter = TerminationSplitter(program.symtab)
-                sstats = splitter.run(fn)
+                with self._pass("cond-split", program, name, round_no):
+                    splitter = TerminationSplitter(program.symtab)
+                    sstats = splitter.run(fn)
                 _merge(result.cond_split_stats, name, sstats,
                        ("examined", "split"))
-            istats = InductionVariableSubstitution(
-                program.symtab, remarks=remarks).run(fn)
+            with self._pass("ivsub", program, name, round_no):
+                istats = InductionVariableSubstitution(
+                    program.symtab, remarks=remarks).run(fn)
             _merge(result.ivsub_stats, name, istats,
                    ("loops", "ivs_substituted", "sweeps", "backtracks",
                     "substitutions"))
-            cstats = propagate_constants(fn, program.globals)
+            with self._pass("constprop", program, name, round_no):
+                cstats = propagate_constants(fn, program.globals)
             _merge(result.constprop_stats, name, cstats,
                    ("rounds", "constants_propagated", "branches_folded",
                     "loops_deleted", "statements_deleted"))
-            for lst in utils.each_stmt_list(fn.body):
-                forward_substitute(lst, aggressive=False)
-            dstats = eliminate_dead_code(fn, program.globals)
+            with self._pass("forward-sub", program, name, round_no):
+                for lst in utils.each_stmt_list(fn.body):
+                    forward_substitute(lst, aggressive=False)
+            with self._pass("deadcode", program, name, round_no):
+                dstats = eliminate_dead_code(fn, program.globals)
             _merge(result.dce_stats, name, dstats,
                    ("assignments_removed", "labels_removed",
                     "empty_ifs_removed", "unreachable_removed",
@@ -339,8 +416,8 @@ def _merge_vec_stats(prior: Optional[VectorizeStats],
 
 def compile_c(source: str, options: Optional[CompilerOptions] = None,
               database: Optional[InlineDatabase] = None,
-              headers: Optional[Dict[str, str]] = None
-              ) -> CompilationResult:
+              headers: Optional[Dict[str, str]] = None,
+              hooks: Sequence[PipelineHook] = ()) -> CompilationResult:
     """One-call convenience used by examples, tests, and benchmarks."""
-    return TitanCompiler(options, database).compile(source,
-                                                    headers=headers)
+    return TitanCompiler(options, database, hooks=hooks) \
+        .compile(source, headers=headers)

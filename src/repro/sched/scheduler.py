@@ -23,6 +23,11 @@ latency-sum that unscheduled code pays.
 
 from __future__ import annotations
 
+#: Canonical pass name used by the pipeline hook layer, the
+#: per-pass checker, and bisection culprit reports.
+PASS_NAME = "schedule"
+PASS_DESCRIPTION = "loop scheduling from the dependence graph (section 6)"
+
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 

@@ -30,6 +30,11 @@ just as the paper frames it.
 
 from __future__ import annotations
 
+#: Canonical pass name used by the pipeline hook layer, the
+#: per-pass checker, and bisection culprit reports.
+PASS_NAME = "list-parallel"
+PASS_DESCRIPTION = "linked-list parallelization (section 10)"
+
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Set, Tuple
 

@@ -28,6 +28,11 @@ through (the §9 punchline).
 
 from __future__ import annotations
 
+#: Canonical pass name used by the pipeline hook layer, the
+#: per-pass checker, and bisection culprit reports.
+PASS_NAME = "vectorize"
+PASS_DESCRIPTION = "Allen-Kennedy vectorization/parallelization (section 5/9)"
+
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 

@@ -1,0 +1,28 @@
+/* Golden-snapshot fixture for the inliner: a two-deep call chain
+ * (main -> apply -> combine) that collapses into one vectorizable
+ * loop once both levels are expanded.  Kept as a checked-in source
+ * file so the golden IL regenerates from a stable input. */
+
+float a[32];
+float b[32];
+
+float combine(float u, float v) {
+    return u * 2.0f + v;
+}
+
+void apply(int n) {
+    int i;
+    for (i = 0; i < n; i = i + 1) {
+        a[i] = combine(a[i], b[i]);
+    }
+}
+
+int main(void) {
+    int i;
+    for (i = 0; i < 32; i = i + 1) {
+        a[i] = i;
+        b[i] = 32 - i;
+    }
+    apply(32);
+    return (int)a[5];
+}

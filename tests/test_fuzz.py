@@ -46,11 +46,18 @@ def read_corpus(name):
 class TestCorpusReplay:
     @pytest.mark.parametrize("name", corpus_files())
     def test_corpus_file(self, name):
+        # check_passes: each committed reproducer must not only match
+        # end-to-end but replay clean through the per-pass semantic
+        # checker — no pass is allowed to even transiently miscompile
+        # a program that once exposed a bug.
         source, expectation = read_corpus(name)
-        result = run_source(source, name=name, points=option_points())
+        result = run_source(source, name=name, points=option_points(),
+                            check_passes=True)
         if expectation == "run":
             assert result.status == "ok", \
                 f"{name}: {result.signature()}"
+            assert all(v.culprit is None for v in result.variants), \
+                f"{name}: a pass check flagged a culprit"
         else:
             assert expectation == "reject"
             assert result.status == "reject", \

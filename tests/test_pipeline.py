@@ -3,8 +3,9 @@
 import pytest
 
 from repro.il import nodes as N
-from repro.il.validate import validate_program
-from repro.pipeline import (CompilerOptions, TitanCompiler, compile_c)
+from repro.il.validate import validate_program, validate_unique_sids
+from repro.pipeline import (CompilerOptions, PipelineHook,
+                            TitanCompiler, compile_c)
 from repro.workloads import blas, graphics, stencils
 
 from tests.helpers import assert_same_behaviour, run_optimized, \
@@ -176,3 +177,46 @@ class TestValidationAfterEveryConfig:
     def test_compiled_programs_validate(self, source):
         result = compile_c(source)
         validate_program(result.program)
+
+
+class ValidatingHook(PipelineHook):
+    """Re-validate the IL after every pass, not just at the end."""
+
+    def __init__(self):
+        self.events = []
+
+    def after_pass(self, name, program, function="", round_no=0):
+        validate_program(program)
+        validate_unique_sids(program)
+        self.events.append((name, function, round_no))
+
+
+class TestValidationAfterEveryPass:
+    SOURCES = [
+        blas.MATH_LIBRARY_C,
+        stencils.backsolve(64),
+        stencils.prefix(64),
+        graphics.transform_points(32),
+        graphics.MAT4_MULTIPLY_C,
+        graphics.struct_array(16),
+    ]
+
+    @pytest.mark.parametrize("source", SOURCES,
+                             ids=["blas", "backsolve", "prefix",
+                                  "transform", "mat4", "structs"])
+    def test_every_pass_output_validates(self, source):
+        hook = ValidatingHook()
+        compile_c(source, hooks=(hook,))
+        names = {event[0] for event in hook.events}
+        # The hook really observed the whole pipeline, front to back.
+        assert "front-end" in names
+        assert "vectorize" in names
+        assert "deadcode" in names
+        assert len(hook.events) > 10
+
+    def test_hook_sees_both_scalar_rounds(self):
+        hook = ValidatingHook()
+        compile_c(stencils.backsolve(16), hooks=(hook,))
+        rounds = {event[2] for event in hook.events
+                  if event[0] == "constprop"}
+        assert rounds == {1, 2}
