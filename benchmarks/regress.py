@@ -39,7 +39,41 @@ import glob
 import json
 import os
 import sys
+import tempfile
 from typing import Dict, Iterator, List, Tuple
+
+sys.path.insert(0, os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), os.pardir, "src"))
+try:
+    from repro.obs.log import Logger
+except ImportError:  # pragma: no cover — src/ tree not alongside
+    class Logger:  # type: ignore[no-redef]
+        """Text-only stand-in with the same call surface."""
+
+        def __init__(self, name, stream=None, json_mode=False,
+                     quiet=False, **_):
+            self.name, self.quiet = name, quiet
+            self.stream = stream or sys.stderr
+
+        def _emit(self, level, message, **fields):
+            if self.quiet and level in ("debug", "info"):
+                return
+            tail = "".join(f" {k}={v}" for k, v in fields.items())
+            prefix = "" if level == "info" else f"{level}: "
+            print(f"{self.name}: {prefix}{message}{tail}",
+                  file=self.stream)
+
+        def debug(self, message, **fields):
+            self._emit("debug", message, **fields)
+
+        def info(self, message, **fields):
+            self._emit("info", message, **fields)
+
+        def warning(self, message, **fields):
+            self._emit("warning", message, **fields)
+
+        def error(self, message, **fields):
+            self._emit("error", message, **fields)
 
 BENCH_SCHEMA = "titancc-bench/1"
 BASELINE_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)),
@@ -64,8 +98,10 @@ def default_current_dir() -> str:
                      "out"))
 
 
-def load_benches(directory: str) -> Dict[str, dict]:
+def load_benches(directory: str,
+                 log: "Logger" = None) -> Dict[str, dict]:
     """``name -> document`` for every valid BENCH_*.json in a dir."""
+    log = log or Logger("regress")
     out: Dict[str, dict] = {}
     for path in sorted(glob.glob(os.path.join(directory,
                                               "BENCH_*.json"))):
@@ -73,13 +109,11 @@ def load_benches(directory: str) -> Dict[str, dict]:
             with open(path) as handle:
                 doc = json.load(handle)
         except (OSError, ValueError) as exc:
-            print(f"regress: skipping unreadable {path}: {exc}",
-                  file=sys.stderr)
+            log.warning(f"skipping unreadable {path}: {exc}")
             continue
         if doc.get("schema") != BENCH_SCHEMA:
-            print(f"regress: skipping {path}: schema "
-                  f"{doc.get('schema')!r} != {BENCH_SCHEMA!r}",
-                  file=sys.stderr)
+            log.warning(f"skipping {path}: schema "
+                        f"{doc.get('schema')!r} != {BENCH_SCHEMA!r}")
             continue
         out[doc.get("name") or os.path.basename(path)] = doc
     return out
@@ -123,8 +157,9 @@ def relative_change(baseline: float, current: float) -> float:
 
 
 def compare(baselines: Dict[str, dict], current: Dict[str, dict],
-            tolerance: float) -> List[str]:
+            tolerance: float, log: "Logger" = None) -> List[str]:
     """Human-readable regression lines (empty = gate passes)."""
+    log = log or Logger("regress", stream=sys.stdout)
     regressions: List[str] = []
     for name, base_doc in sorted(baselines.items()):
         cur_doc = current.get(name)
@@ -155,18 +190,38 @@ def compare(baselines: Dict[str, dict], current: Dict[str, dict],
                     f"(tolerance {effective * 100:.0f}%)")
             elif informational:
                 if abs(change) > tolerance:
-                    print(f"regress: info (not gated) "
-                          f"{name}/{variant} {metric}: {arrow}")
+                    log.info(f"info (not gated) "
+                             f"{name}/{variant} {metric}: {arrow}")
             elif abs(change) > effective:
-                print(f"regress: improvement {name}/{variant} "
-                      f"{metric}: {arrow}")
+                log.info(f"improvement {name}/{variant} "
+                         f"{metric}: {arrow}")
     return regressions
 
 
-def update_baselines(current: Dict[str, dict],
-                     baseline_dir: str) -> None:
+def atomic_write_json(path: str, doc: dict) -> None:
+    """Write then ``os.replace`` so a crash mid-write never leaves a
+    truncated baseline (stdlib twin of repro.obs.schemas)."""
+    directory = os.path.dirname(os.path.abspath(path))
+    fd, tmp = tempfile.mkstemp(dir=directory, prefix=".tmp-bench-")
+    try:
+        with os.fdopen(fd, "w") as handle:
+            json.dump(doc, handle, indent=1, ensure_ascii=True,
+                      sort_keys=True)
+            handle.write("\n")
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+def update_baselines(current: Dict[str, dict], baseline_dir: str,
+                     log: "Logger" = None) -> None:
     """Accept the current run: move old metrics into each baseline's
     ``history`` list (capped), write current values on top."""
+    log = log or Logger("regress", stream=sys.stdout)
     os.makedirs(baseline_dir, exist_ok=True)
     for name, doc in sorted(current.items()):
         path = os.path.join(baseline_dir, f"BENCH_{name}.json")
@@ -183,11 +238,8 @@ def update_baselines(current: Dict[str, dict],
         out = {"schema": BENCH_SCHEMA, "name": name,
                "variants": doc.get("variants") or {},
                "history": history[-HISTORY_LIMIT:]}
-        with open(path, "w") as handle:
-            json.dump(out, handle, indent=1, ensure_ascii=True,
-                      sort_keys=True)
-            handle.write("\n")
-        print(f"regress: baseline updated: {path}")
+        atomic_write_json(path, out)
+        log.info(f"baseline updated: {path}")
 
 
 def main(argv: List[str] = None) -> int:
@@ -205,38 +257,48 @@ def main(argv: List[str] = None) -> int:
     parser.add_argument("--update", action="store_true",
                         help="rewrite baselines from the current run "
                              "(previous metrics kept in history)")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress info lines (improvements, "
+                             "ungated host-metric drift)")
+    parser.add_argument("--log-json", action="store_true",
+                        help="emit diagnostics as JSONL (schema "
+                             "titancc-events/1) instead of text")
     args = parser.parse_args(argv)
 
+    log_out = Logger("regress", stream=sys.stdout,
+                     json_mode=args.log_json, quiet=args.quiet)
+    log_err = Logger("regress", json_mode=args.log_json)
+
     current_dir = args.current or default_current_dir()
-    current = load_benches(current_dir)
+    current = load_benches(current_dir, log=log_err)
     if not current:
-        print(f"regress: no BENCH_*.json found in {current_dir}; "
-              f"run the benchmark suite first "
-              f"(PYTHONPATH=src python -m pytest benchmarks)",
-              file=sys.stderr)
+        log_err.error(f"no BENCH_*.json found in {current_dir}; "
+                      f"run the benchmark suite first "
+                      f"(PYTHONPATH=src python -m pytest benchmarks)")
         return 2
 
     if args.update:
-        update_baselines(current, args.baselines)
+        update_baselines(current, args.baselines, log=log_out)
         return 0
 
-    baselines = load_benches(args.baselines)
+    baselines = load_benches(args.baselines, log=log_err)
     if not baselines:
-        print(f"regress: no baselines in {args.baselines}; "
-              f"run with --update to create them", file=sys.stderr)
+        log_err.error(f"no baselines in {args.baselines}; "
+                      f"run with --update to create them")
         return 2
 
-    regressions = compare(baselines, current, args.tolerance)
+    regressions = compare(baselines, current, args.tolerance,
+                          log=log_out)
     checked = sum(1 for doc in baselines.values()
                   for _ in iter_metrics(doc))
     if regressions:
-        print(f"regress: {len(regressions)} regression(s) across "
-              f"{checked} checked metric(s):", file=sys.stderr)
+        log_err.error(f"{len(regressions)} regression(s) across "
+                      f"{checked} checked metric(s):")
         for line in regressions:
-            print(f"  FAIL {line}", file=sys.stderr)
+            log_err.error(f"  FAIL {line}")
         return 1
-    print(f"regress: OK — {checked} metric(s) within "
-          f"{args.tolerance * 100:.0f}% of baseline")
+    log_out.info(f"OK — {checked} metric(s) within "
+                 f"{args.tolerance * 100:.0f}% of baseline")
     return 0
 
 

@@ -48,7 +48,9 @@ from ..pipeline import (CompilerOptions, PipelineHook, TitanCompiler)
 from .checker import ExecOutcome, PassChecker, PassSnapshot, \
     outcome_differs
 
-BISECT_SCHEMA = "titancc-bisect/1"
+from ..obs import schemas
+
+BISECT_SCHEMA = schemas.BISECT
 
 #: Checker/registry pass names -> the names the same pass uses in its
 #: remark stream (kept distinct historically; reports bridge the gap).

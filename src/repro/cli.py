@@ -29,7 +29,10 @@ from .frontend.lower import compile_to_il
 from .il.printer import format_program
 from .inline.database import InlineDatabase
 from .interp import ENGINES
-from .obs.report import CompilationReport
+from .obs import schemas, telemetry
+from .obs.metrics import MetricsRegistry, SpanMetricsConsumer
+from .obs.report import CompilationReport, metrics_from_result
+from .obs.telemetry import EventLogWriter, SpanHook
 from .pipeline import CompilerOptions, TitanCompiler
 from .titan.config import TitanConfig
 from .titan.simulator import TitanSimulator
@@ -87,7 +90,8 @@ def build_arg_parser() -> argparse.ArgumentParser:
     parser.add_argument("--trace-json", metavar="PATH",
                         help="write per-phase wall times as Chrome "
                              "trace-event JSON (load in "
-                             "chrome://tracing or Perfetto)")
+                             "chrome://tracing or Perfetto; '-' for "
+                             "stdout)")
     parser.add_argument("--profile", action="store_true",
                         help="with --run: attribute simulated cycles "
                              "to the hottest loops and functions")
@@ -95,7 +99,17 @@ def build_arg_parser() -> argparse.ArgumentParser:
                         help="write the full compilation report "
                              "(counters, remarks, per-loop coverage, "
                              "dependence graphs, Titan utilization) "
-                             "as schema-versioned JSON")
+                             "as schema-versioned JSON ('-' for "
+                             "stdout)")
+    parser.add_argument("--metrics-prom", metavar="PATH",
+                        help="export session metrics (pass counters, "
+                             "loop coverage, span histograms) in "
+                             "Prometheus text exposition format "
+                             "('-' for stdout)")
+    parser.add_argument("--events-jsonl", metavar="PATH",
+                        help="stream telemetry spans and a final "
+                             "metrics snapshot as JSONL events "
+                             "(schema titancc-events/1)")
     parser.add_argument("--dump-deps", metavar="DIR",
                         help="write each innermost loop's dependence "
                              "graph to DIR as <function>_L<line>.dot "
@@ -183,8 +197,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                                 database=database)
         print(verdict.format())
         if args.bisect_json:
-            with open(args.bisect_json, "w") as handle:
-                handle.write(verdict.to_json() + "\n")
+            schemas.atomic_write_text(args.bisect_json,
+                                      verdict.to_json() + "\n")
             print(f"titancc: wrote bisection verdict to "
                   f"{args.bisect_json}", file=sys.stderr)
         return 0 if verdict.status == "clean" else 1
@@ -193,8 +207,43 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.check_passes:
         from .check.checker import PassChecker
         checker = PassChecker(entry=args.check_entry)
+
+    # Session telemetry: attach consumers to the global Telemetry so
+    # spans from the tracer, the analyses, and the engines all land in
+    # one registry / event log.  Off (observation-free) unless asked.
+    session_registry = None
+    event_writer = None
+    consumers: list = []
+    hooks: list = []
+    if args.metrics_prom or args.events_jsonl:
+        session_registry = MetricsRegistry()
+        consumers.append(SpanMetricsConsumer(session_registry))
+        if args.events_jsonl:
+            event_writer = EventLogWriter(args.events_jsonl)
+            consumers.append(event_writer)
+        # Per-pass spans come from the hook seam (the tracer only
+        # emits coarse phase spans), so the hook goes first.
+        hooks.append(SpanHook())
+    if checker is not None:
+        hooks.append(checker)
+
     compiler = TitanCompiler(options_from_args(args), database,
-                             hooks=(checker,) if checker else ())
+                             hooks=tuple(hooks))
+    try:
+        with telemetry.session(*consumers):
+            return _compile_main(args, compiler, source, checker,
+                                 session_registry, event_writer)
+    finally:
+        if event_writer is not None:
+            event_writer.close()
+
+
+def _compile_main(args: argparse.Namespace, compiler: TitanCompiler,
+                  source: str, checker,
+                  session_registry, event_writer) -> int:
+    """The compile → dump → simulate → report path of :func:`main`,
+    run inside the telemetry session (if one is active) so engine and
+    analysis spans land in the session consumers."""
     result = compiler.compile(source, args.source)
 
     if checker is not None:
@@ -204,25 +253,30 @@ def main(argv: Optional[List[str]] = None) -> int:
         for remark in result.remarks:
             print(remark.format(), file=sys.stderr)
 
+    # An artifact routed to stdout ('-') owns the stream: the default
+    # program listing and the simulation summary move out of the way
+    # so the output stays machine-parseable.
+    stdout_artifact = schemas.STDOUT in (args.report_json,
+                                         args.trace_json,
+                                         args.metrics_prom)
     if args.dump_stages:
         for dump in result.stages:
             print(f"/* ===== stage: {dump.stage} ===== */")
             print(dump.text)
             print()
-    else:
+    elif not stdout_artifact:
         print(format_program(result.program,
                              show_lines=args.print_lines))
 
     if args.dump_deps:
+        import json as _json
         os.makedirs(args.dump_deps, exist_ok=True)
         for graph in result.dep_graphs:
             base = os.path.join(args.dump_deps, graph.slug)
-            with open(base + ".dot", "w") as handle:
-                handle.write(graph.to_dot() + "\n")
-            with open(base + ".json", "w") as handle:
-                import json as _json
-                handle.write(_json.dumps(graph.to_json(), indent=1,
-                                         ensure_ascii=True))
+            schemas.atomic_write_text(base + ".dot",
+                                      graph.to_dot() + "\n")
+            doc = {"schema": schemas.DEPGRAPH, **graph.to_json()}
+            schemas.write_json_artifact(base + ".json", doc)
         print(f"titancc: wrote {len(result.dep_graphs)} dependence "
               f"graph(s) to {args.dump_deps}", file=sys.stderr)
 
@@ -236,11 +290,13 @@ def main(argv: Optional[List[str]] = None) -> int:
                                    engine=args.engine)
         sim_report = simulator.run(args.run)
         if sim_report.stdout:
-            sys.stdout.write(sim_report.stdout)
+            out = sys.stderr if stdout_artifact else sys.stdout
+            out.write(sim_report.stdout)
+        summary_stream = sys.stderr if stdout_artifact else sys.stdout
         print(f"\n/* simulated: {sim_report.cycles:.0f} cycles, "
               f"{sim_report.seconds * 1e3:.3f} ms, "
               f"{sim_report.mflops:.2f} MFLOPS, "
-              f"result={sim_report.result} */")
+              f"result={sim_report.result} */", file=summary_stream)
         if args.profile and sim_report.profile is not None:
             print(sim_report.profile.format(), file=sys.stderr)
 
@@ -255,13 +311,33 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.report_json:
         report.write(args.report_json)
-        print(f"titancc: wrote compilation report to "
-              f"{args.report_json}", file=sys.stderr)
+        if args.report_json != schemas.STDOUT:
+            print(f"titancc: wrote compilation report to "
+                  f"{args.report_json}", file=sys.stderr)
 
     if args.trace_json:
         result.trace.write(args.trace_json)
-        print(f"titancc: wrote phase trace to {args.trace_json} "
-              f"(open in chrome://tracing)", file=sys.stderr)
+        if args.trace_json != schemas.STDOUT:
+            print(f"titancc: wrote phase trace to {args.trace_json} "
+                  f"(open in chrome://tracing)", file=sys.stderr)
+
+    if session_registry is not None:
+        # Fold the pass-counter and loop-coverage families in next to
+        # the session's span metrics (spans already streamed in live —
+        # trace_spans=False avoids double counting them).
+        metrics_from_result(result, report.counters, report.loops,
+                            registry=session_registry,
+                            trace_spans=False)
+        if event_writer is not None:
+            event_writer.write_metrics(session_registry)
+        if args.metrics_prom:
+            schemas.atomic_write_text(
+                args.metrics_prom,
+                session_registry.format_prometheus())
+            if args.metrics_prom != schemas.STDOUT:
+                print(f"titancc: wrote Prometheus metrics to "
+                      f"{args.metrics_prom}", file=sys.stderr)
+
     if checker is not None and checker.first_divergence() is not None:
         divergence = checker.first_divergence()
         print(f"titancc: pass check FAILED at {divergence.label}",

@@ -95,19 +95,26 @@ class DependenceGraph:
     # ------------------------------------------------------------------
 
     def _build(self, extra_invariants: Sequence[Symbol]) -> None:
-        body = self.body
-        loop_var = self.loop.var
-        defined = utils.symbols_defined_in(body)
-        invariants = self._invariant_symbols(defined) | set(
-            extra_invariants)
-        # Memory references per top-level statement.
-        refs_of: Dict[int, List[AffineRef]] = {}
-        for index, stmt in enumerate(body):
-            refs_of[index] = collect_refs([stmt], [loop_var],
-                                          invariants)
-        self._memory_edges(refs_of)
-        self._scalar_edges(defined)
-        self._call_edges(refs_of)
+        from ..obs import telemetry
+        with telemetry.span("dependence-build", cat="analysis",
+                            loop=self.loop.var.name,
+                            line=self.loop.line) as targs:
+            body = self.body
+            loop_var = self.loop.var
+            defined = utils.symbols_defined_in(body)
+            invariants = self._invariant_symbols(defined) | set(
+                extra_invariants)
+            # Memory references per top-level statement.
+            refs_of: Dict[int, List[AffineRef]] = {}
+            for index, stmt in enumerate(body):
+                refs_of[index] = collect_refs([stmt], [loop_var],
+                                              invariants)
+            self._memory_edges(refs_of)
+            self._scalar_edges(defined)
+            self._call_edges(refs_of)
+            if targs:
+                targs["edges"] = len(self.edges)
+                targs["statements"] = len(body)
 
     def _invariant_symbols(self, defined: Set[Symbol]) -> Set[Symbol]:
         out: Set[Symbol] = set()

@@ -9,26 +9,38 @@ Examples::
 
 ``--jobs N`` fans the seed range out over N worker processes
 (contiguous per-worker seed chunks, merged deterministically back into
-seed order), so the summary is byte-identical to a sequential run;
-``summary.json`` additionally records per-worker wall times.
+seed order), so the summary — including its ``metrics`` block — is
+byte-identical to a sequential run; ``summary.json`` additionally
+records per-worker wall times.
 
 With ``--out DIR`` every failure is minimized and written as
-``DIR/repro_<name>.c`` (a self-contained one-command reproducer), and
+``DIR/repro_<name>.c`` (a self-contained one-command reproducer),
 ``DIR/summary.json`` records the whole run (schema ``titancc-fuzz/1``,
 serialized through the same :func:`~repro.obs.trace.jsonable`
-hardening the compilation report uses).  Exit status is non-zero when
-any divergence or crash was found.
+hardening the compilation report uses, with a merged metrics
+registry), and ``DIR/events.jsonl`` holds the run's telemetry (the
+``fuzz-run`` span, one ``worker`` event per chunk, and the final
+metrics snapshot).  All artifacts are written atomically.  Exit
+status is non-zero when any divergence or crash was found.
+
+Diagnostics go through the structured :mod:`repro.obs.log` logger:
+human text on stderr by default, one JSON object per line under
+``--log-json``, and ``--quiet`` keeps only warnings and the final
+summary line.
 """
 
 from __future__ import annotations
 
 import argparse
-import json
 import os
 import sys
 from typing import List, Optional
 
 from ..interp import ENGINES
+from ..obs import schemas
+from ..obs.log import Logger
+from ..obs.metrics import MetricsRegistry
+from ..obs.telemetry import EventLogWriter, Telemetry
 from ..obs.trace import jsonable
 from .generator import GeneratorOptions
 from .harness import (DifferentialResult, fuzz, fuzz_parallel,
@@ -47,8 +59,8 @@ def build_arg_parser() -> argparse.ArgumentParser:
     parser.add_argument("--count", type=int, default=100,
                         help="number of programs (default 100)")
     parser.add_argument("--out", metavar="DIR",
-                        help="write minimized reproducer .c files and "
-                             "summary.json here")
+                        help="write minimized reproducer .c files, "
+                             "summary.json, and events.jsonl here")
     parser.add_argument("--replay", metavar="FILE", action="append",
                         default=[],
                         help="differentially test this .c file instead "
@@ -75,19 +87,17 @@ def build_arg_parser() -> argparse.ArgumentParser:
     parser.add_argument("--no-reduce", action="store_true",
                         help="write failures unminimized")
     parser.add_argument("--quiet", action="store_true",
-                        help="only print the final summary line")
+                        help="only print warnings and the final "
+                             "summary line")
+    parser.add_argument("--log-json", action="store_true",
+                        help="emit diagnostics as JSONL (schema "
+                             "titancc-events/1) instead of text")
     return parser
-
-
-def _progress(args, done: int, report_holder: List[int]) -> None:
-    if args.quiet:
-        return
-    if done % 25 == 0 or done == args.count:
-        print(f"fuzz: {done}/{args.count} programs", file=sys.stderr)
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_arg_parser().parse_args(argv)
+    log = Logger("fuzz", json_mode=args.log_json, quiet=args.quiet)
     points = option_points()
 
     if args.replay:
@@ -105,57 +115,77 @@ def main(argv: Optional[List[str]] = None) -> int:
                   f"({result.signature()})")
             for variant in result.variants:
                 if variant.culprit:
-                    print(f"{path}: bisect: {variant.name} -> "
-                          f"{variant.culprit['status']} "
-                          f"{variant.culprit['guilty_pass']}",
-                          file=sys.stderr)
+                    log.info("bisect verdict", path=path,
+                             variant=variant.name,
+                             status=variant.culprit["status"],
+                             guilty_pass=variant.culprit["guilty_pass"])
             if result.failed:
                 failures.append(result)
         return 1 if failures else 0
+
+    # Run telemetry: the fuzz-run span, per-worker events, and the
+    # final metrics snapshot stream to <out>/events.jsonl.  A private
+    # Telemetry (not the global session) keeps the event log at run
+    # granularity instead of recording every variant compile.
+    writer: Optional[EventLogWriter] = None
+    if args.out:
+        os.makedirs(args.out, exist_ok=True)
+        writer = EventLogWriter(os.path.join(args.out, "events.jsonl"))
+    telemetry = Telemetry(consumers=(writer,) if writer else (),
+                          forward_global=False)
 
     done = [0]
 
     def on_result(result: DifferentialResult) -> None:
         done[0] += 1
-        _progress(args, done[0], done)
-        if result.status != "ok" and not args.quiet:
-            print(f"fuzz: {result.name}: {result.status} "
-                  f"({result.signature()})", file=sys.stderr)
+        if done[0] % 25 == 0 or done[0] == args.count:
+            log.info("progress", done=done[0], total=args.count)
+        if result.status != "ok":
+            log.info("failure", name=result.name,
+                     status=result.status,
+                     signature=result.signature())
 
     gen_options = GeneratorOptions(max_blocks=args.max_blocks)
     workers = None
-    if args.jobs > 1:
-        def on_chunk(chunk, seconds):
-            done[0] += chunk.count
-            if not args.quiet:
-                print(f"fuzz: worker chunk seed={chunk.seed} "
-                      f"({chunk.count} programs, {seconds:.1f}s, "
-                      f"{len(chunk.failures)} failure(s)) — "
-                      f"{done[0]}/{args.count}", file=sys.stderr)
+    with telemetry.span("fuzz-run", cat="fuzz", seed=args.seed,
+                        count=args.count, jobs=args.jobs) as targs:
+        if args.jobs > 1:
+            def on_chunk(chunk, seconds):
+                done[0] += chunk.count
+                log.info("worker chunk finished", seed=chunk.seed,
+                         count=chunk.count,
+                         seconds=round(seconds, 3),
+                         failures=len(chunk.failures),
+                         done=done[0], total=args.count)
 
-        report, workers = fuzz_parallel(
-            args.seed, args.count, args.jobs,
-            generator_options=gen_options, points=points,
-            max_steps=args.max_steps, engine=args.engine,
-            check_passes=args.check_passes, on_chunk=on_chunk)
-        if not args.quiet:
+            report, workers, metrics = fuzz_parallel(
+                args.seed, args.count, args.jobs,
+                generator_options=gen_options, points=points,
+                max_steps=args.max_steps, engine=args.engine,
+                check_passes=args.check_passes, on_chunk=on_chunk)
             for failure in report.failures:
-                print(f"fuzz: {failure.name}: {failure.status} "
-                      f"({failure.signature()})", file=sys.stderr)
-    else:
-        report = fuzz(args.seed, args.count,
-                      generator_options=gen_options, points=points,
-                      max_steps=args.max_steps, on_result=on_result,
-                      engine=args.engine,
-                      check_passes=args.check_passes)
+                log.info("failure", name=failure.name,
+                         status=failure.status,
+                         signature=failure.signature())
+        else:
+            metrics = MetricsRegistry()
+            report = fuzz(args.seed, args.count,
+                          generator_options=gen_options, points=points,
+                          max_steps=args.max_steps,
+                          on_result=on_result,
+                          engine=args.engine,
+                          check_passes=args.check_passes,
+                          registry=metrics)
+        targs["ok"] = report.ok
+        targs["failures"] = len(report.failures)
 
     if args.out:
-        os.makedirs(args.out, exist_ok=True)
         summary = report.to_dict()
         summary["engine"] = args.engine
         summary["jobs"] = args.jobs
         if workers is not None:
             summary["workers"] = workers
+        summary["metrics"] = metrics.to_dict()
         summary["reproducers"] = []
         summary["bisections"] = []
         for failure in report.failures:
@@ -176,31 +206,28 @@ def main(argv: Optional[List[str]] = None) -> int:
                       f"{failure.signature()}\n"
                       f"// replay: python -m repro.fuzz --replay "
                       f"{path}\n")
-            with open(path, "w") as handle:
-                handle.write(header + source)
+            schemas.atomic_write_text(path, header + source)
             summary["reproducers"].append(path)
-            if not args.quiet:
-                print(f"fuzz: wrote {path}", file=sys.stderr)
+            log.info("wrote reproducer", path=path)
             culprit = next((v.culprit for v in failure.variants
                             if v.culprit), None)
             if culprit is not None:
                 bisect_path = os.path.join(
                     args.out, f"bisect_{failure.name}.json")
-                with open(bisect_path, "w") as handle:
-                    json.dump(jsonable(culprit), handle, indent=1,
-                              ensure_ascii=True)
-                    handle.write("\n")
+                schemas.write_json_artifact(bisect_path,
+                                            jsonable(culprit))
                 summary["bisections"].append(bisect_path)
-                if not args.quiet:
-                    print(f"fuzz: wrote {bisect_path} "
-                          f"({culprit['status']}: "
-                          f"{culprit['guilty_pass'] or 'n/a'})",
-                          file=sys.stderr)
-        with open(os.path.join(args.out, "summary.json"), "w") \
-                as handle:
-            json.dump(jsonable(summary), handle, indent=1,
-                      ensure_ascii=True)
-            handle.write("\n")
+                log.info("wrote bisection", path=bisect_path,
+                         status=culprit["status"],
+                         guilty_pass=culprit["guilty_pass"] or "n/a")
+        schemas.write_json_artifact(
+            os.path.join(args.out, "summary.json"), jsonable(summary))
+        if writer is not None:
+            if workers is not None:
+                for entry in workers:
+                    writer.emit("worker", **entry)
+            writer.write_metrics(metrics)
+            writer.close()
 
     print(f"fuzz: {report.count} programs from seed {report.seed}: "
           f"{report.ok} ok, {report.rejected} rejected, "

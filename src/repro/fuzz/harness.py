@@ -40,9 +40,15 @@ from ..frontend.parser import ParseError
 from ..frontend.preprocessor import PreprocessorError
 from ..frontend.symtab import SymbolError
 from ..interp.interpreter import make_interpreter
+from ..obs.metrics import MetricsRegistry
 from ..pipeline import CompilerOptions, compile_c
 from .generator import GeneratedProgram, GeneratorOptions, \
     generate_program
+
+#: Generated-source-size histogram bounds (bytes).  Fixed so worker
+#: registries always merge (matching bounds are required).
+SOURCE_BYTES_BUCKETS = (128.0, 256.0, 512.0, 1024.0, 2048.0, 4096.0,
+                        8192.0)
 
 #: Exceptions that are legitimate diagnostics for invalid input.
 CLEAN_REJECTIONS = (LexError, ParseError, LoweringError,
@@ -335,8 +341,9 @@ class FuzzReport:
         return self.divergences == 0 and self.crashes == 0
 
     def to_dict(self) -> dict:
+        from ..obs import schemas
         return {
-            "schema": "titancc-fuzz/1",
+            "schema": schemas.FUZZ,
             "seed": self.seed,
             "count": self.count,
             "ok": self.ok,
@@ -354,11 +361,18 @@ def fuzz(seed: int, count: int,
          on_result: Optional[Callable[[DifferentialResult], None]]
          = None,
          engine: str = "compiled",
-         check_passes: bool = False) -> FuzzReport:
+         check_passes: bool = False,
+         registry: Optional["MetricsRegistry"] = None) -> FuzzReport:
     """Generate ``count`` programs from consecutive seeds and test
     each differentially.  Generated programs are valid by construction,
     so a reference-level rejection counts as a failure too: either the
-    generator or the front end is wrong, and both are worth a look."""
+    generator or the front end is wrong, and both are worth a look.
+
+    ``registry`` (optional) collects run metrics.  Only deterministic
+    observations go in — program/variant outcome counts and source-size
+    histograms, never wall times — so a parallel run's merged registry
+    is byte-identical to the sequential run's (the cross-process
+    determinism the fuzz tests pin down)."""
     report = FuzzReport(seed=seed, count=count)
     for offset in range(count):
         program: GeneratedProgram = generate_program(
@@ -379,9 +393,27 @@ def fuzz(seed: int, count: int,
         else:
             report.crashes += 1
             report.failures.append(result)
+        if registry is not None:
+            _observe_result(registry, program, result)
         if on_result is not None:
             on_result(result)
     return report
+
+
+def _observe_result(registry: "MetricsRegistry",
+                    program: GeneratedProgram,
+                    result: DifferentialResult) -> None:
+    """Record one program's deterministic metrics."""
+    registry.counter("titancc_fuzz_programs_total",
+                     {"status": result.status}).inc()
+    for variant in result.variants:
+        point = variant.name.partition("@")[0]
+        registry.counter("titancc_fuzz_variants_total",
+                         {"point": point,
+                          "status": variant.status}).inc()
+    registry.histogram("titancc_fuzz_source_bytes",
+                       buckets=SOURCE_BYTES_BUCKETS) \
+        .observe(float(len(program.source)))
 
 
 def seed_chunks(seed: int, count: int, jobs: int
@@ -402,15 +434,17 @@ def seed_chunks(seed: int, count: int, jobs: int
     return chunks
 
 
-def _fuzz_worker(task: tuple) -> Tuple[FuzzReport, float]:
-    """Pool entry point: run one seed chunk, report its wall time."""
+def _fuzz_worker(task: tuple) -> Tuple[FuzzReport, float, dict]:
+    """Pool entry point: run one seed chunk, report its wall time and
+    its metrics-registry snapshot (deterministic observations only)."""
     (seed, count, generator_options, points, max_steps,
      engine, check_passes) = task
+    registry = MetricsRegistry()
     start = time.perf_counter()
     report = fuzz(seed, count, generator_options=generator_options,
                   points=points, max_steps=max_steps, engine=engine,
-                  check_passes=check_passes)
-    return report, time.perf_counter() - start
+                  check_passes=check_passes, registry=registry)
+    return report, time.perf_counter() - start, registry.to_dict()
 
 
 def fuzz_parallel(seed: int, count: int, jobs: int,
@@ -422,47 +456,50 @@ def fuzz_parallel(seed: int, count: int, jobs: int,
                   check_passes: bool = False,
                   on_chunk: Optional[
                       Callable[[FuzzReport, float], None]] = None
-                  ) -> Tuple[FuzzReport, List[dict]]:
+                  ) -> Tuple[FuzzReport, List[dict], MetricsRegistry]:
     """Like :func:`fuzz`, fanned out over ``jobs`` worker processes.
 
     Seeds are split into contiguous chunks (:func:`seed_chunks`) and
-    the per-chunk reports are merged back *in seed order*, so the
-    merged report is byte-identical to a sequential :func:`fuzz` run
-    over the same range no matter how the workers were scheduled.
-    Returns the merged report plus one ``{"seed", "count", "seconds",
-    "failures"}`` timing entry per worker (in seed order) for the
-    summary artifact.  ``on_chunk`` fires in the parent as each worker
-    finishes (completion order), for progress reporting.
+    the per-chunk reports and metrics registries are merged back *in
+    seed order*, so the merged report and registry are byte-identical
+    to a sequential :func:`fuzz` run over the same range no matter how
+    the workers were scheduled.  Returns the merged report, one
+    ``{"seed", "count", "seconds", "failures"}`` timing entry per
+    worker (in seed order) for the summary artifact, and the merged
+    :class:`MetricsRegistry`.  ``on_chunk`` fires in the parent as
+    each worker finishes (completion order), for progress reporting.
     """
     chunks = seed_chunks(seed, count, jobs)
-    finished: List[Tuple[FuzzReport, float]] = []
+    finished: List[Tuple[FuzzReport, float, dict]] = []
     if len(chunks) <= 1:
         finished.append(_fuzz_worker(
             (seed, count, generator_options, points, max_steps,
              engine, check_passes)))
         if on_chunk is not None:
-            on_chunk(*finished[0])
+            on_chunk(finished[0][0], finished[0][1])
     else:
         tasks = [(start, size, generator_options, points, max_steps,
                   engine, check_passes) for start, size in chunks]
         with multiprocessing.get_context().Pool(len(tasks)) as pool:
-            for chunk_report, seconds in pool.imap_unordered(
+            for chunk_report, seconds, snapshot in pool.imap_unordered(
                     _fuzz_worker, tasks):
                 if on_chunk is not None:
                     on_chunk(chunk_report, seconds)
-                finished.append((chunk_report, seconds))
-    finished.sort(key=lambda pair: pair[0].seed)
+                finished.append((chunk_report, seconds, snapshot))
+    finished.sort(key=lambda entry: entry[0].seed)
 
     merged = FuzzReport(seed=seed, count=count)
+    metrics = MetricsRegistry()
     timings: List[dict] = []
-    for chunk_report, seconds in finished:
+    for chunk_report, seconds, snapshot in finished:
         merged.ok += chunk_report.ok
         merged.rejected += chunk_report.rejected
         merged.divergences += chunk_report.divergences
         merged.crashes += chunk_report.crashes
         merged.failures.extend(chunk_report.failures)
+        metrics.merge(snapshot)
         timings.append({"seed": chunk_report.seed,
                         "count": chunk_report.count,
                         "seconds": seconds,
                         "failures": len(chunk_report.failures)})
-    return merged, timings
+    return merged, timings, metrics

@@ -74,9 +74,13 @@ class Inliner:
     def run(self) -> InlineStats:
         if not self.options.enabled:
             return self.stats
-        for name in self._bottom_up_order():
-            fn = self.program.functions[name]
-            self._expand_function(fn, stack={name})
+        from ..obs import telemetry
+        with telemetry.span("inline-expand", cat="analysis") as targs:
+            for name in self._bottom_up_order():
+                fn = self.program.functions[name]
+                self._expand_function(fn, stack={name})
+            targs["sites_examined"] = self.stats.sites_examined
+            targs["sites_inlined"] = self.stats.sites_inlined
         return self.stats
 
     def _bottom_up_order(self) -> List[str]:

@@ -2000,6 +2000,10 @@ class CompiledInterpreter(Interpreter):
             self._compiled_hook = self.cost_hook
         cached = self._compiled.get(fn.name)
         if cached is None or cached.fn is not fn:
-            cached = _FunctionCompiler(self, fn).compile()
+            from ..obs import telemetry
+            with telemetry.span("engine-compile", cat="engine",
+                                engine=self.engine_name,
+                                function=fn.name):
+                cached = _FunctionCompiler(self, fn).compile()
             self._compiled[fn.name] = cached
         return cached.invoke(args)

@@ -139,8 +139,20 @@ class Interpreter:
     # ------------------------------------------------------------------
 
     def run(self, entry: str = "main", *args: Value) -> Optional[Value]:
-        """Call ``entry`` with scalar/pointer arguments."""
-        return self.call_function(entry, list(args))
+        """Call ``entry`` with scalar/pointer arguments.
+
+        One ``engine-run`` telemetry span per top-level run; with no
+        session active the span is a no-op, so the hot path (the
+        execution itself) stays observation-free."""
+        from ..obs import telemetry
+        with telemetry.span("engine-run", cat="engine",
+                            engine=self.engine_name,
+                            entry=entry) as targs:
+            before = self._step_cell[0]
+            value = self.call_function(entry, list(args))
+            if targs:
+                targs["steps"] = self._step_cell[0] - before
+            return value
 
     def call_function(self, name: str,
                       args: Sequence[Value]) -> Optional[Value]:

@@ -1,0 +1,79 @@
+"""Tiny structured logger for the repo's driver programs.
+
+Replaces the ad-hoc ``print(..., file=sys.stderr)`` progress and
+diagnostic lines in the fuzz CLI and the benchmark regression gate
+with one consistent surface:
+
+* **text mode** (default): ``<name>: <message> key=value ...`` on
+  stderr — what a human watching a run reads;
+* **JSON mode** (``--log-json``): one ``titancc-events/1`` record per
+  line (``type: "log"``), so a supervisor — the ROADMAP's compilation
+  service, CI — can parse the stream with the same dispatch as the
+  telemetry event log.
+
+``quiet`` suppresses ``info`` records but never warnings or errors,
+matching the existing ``--quiet`` contract.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from typing import Optional, TextIO
+
+LEVELS = ("debug", "info", "warning", "error")
+
+
+class Logger:
+    def __init__(self, name: str = "titancc",
+                 stream: Optional[TextIO] = None,
+                 json_mode: bool = False, quiet: bool = False,
+                 clock=time.time):
+        self.name = name
+        self.stream = stream if stream is not None else sys.stderr
+        self.json_mode = json_mode
+        self.quiet = quiet
+        self._clock = clock
+
+    # ------------------------------------------------------------------
+
+    def log(self, level: str, message: str, **fields) -> None:
+        if level not in LEVELS:
+            raise ValueError(f"unknown log level {level!r}")
+        if self.quiet and level in ("debug", "info"):
+            return
+        if self.json_mode:
+            from .schemas import EVENTS
+            record = {"schema": EVENTS, "type": "log",
+                      "t": round(self._clock(), 3), "level": level,
+                      "logger": self.name, "message": message}
+            record.update(fields)
+            self.stream.write(json.dumps(record, ensure_ascii=True,
+                                         default=str) + "\n")
+        else:
+            suffix = "".join(f" {key}={value}"
+                             for key, value in fields.items())
+            prefix = f"{self.name}: " if self.name else ""
+            level_tag = "" if level == "info" else f"{level}: "
+            self.stream.write(f"{prefix}{level_tag}{message}"
+                              f"{suffix}\n")
+
+    def debug(self, message: str, **fields) -> None:
+        self.log("debug", message, **fields)
+
+    def info(self, message: str, **fields) -> None:
+        self.log("info", message, **fields)
+
+    def warning(self, message: str, **fields) -> None:
+        self.log("warning", message, **fields)
+
+    def error(self, message: str, **fields) -> None:
+        self.log("error", message, **fields)
+
+
+def get_logger(name: str, json_mode: bool = False,
+               quiet: bool = False,
+               stream: Optional[TextIO] = None) -> Logger:
+    return Logger(name=name, stream=stream, json_mode=json_mode,
+                  quiet=quiet)

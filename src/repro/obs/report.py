@@ -24,10 +24,15 @@ stream the compiler produces — the structured equivalent of LLVM's
   startup overhead) with an exact cycles decomposition;
 * **pass_checks** — schema /2: when the compile ran with the per-pass
   semantic checker (``--check-passes``), the per-pass snapshot table
-  (validated? executed? outcome?) and the first divergence if any.
+  (validated? executed? outcome?) and the first divergence if any;
+* **metrics** — schema /3: the
+  :class:`~repro.obs.metrics.MetricsRegistry` snapshot for this
+  compile (pass counters as one labeled family, loop-coverage
+  counters, span-duration histograms) — the mergeable form the
+  cross-run aggregation and the dashboard consume.
 
-Bump :data:`REPORT_SCHEMA` when the document shape changes; consumers
-dispatch on it.
+The schema tag lives in :mod:`repro.obs.schemas` (bump it there when
+the document shape changes); consumers dispatch on it.
 """
 
 from __future__ import annotations
@@ -40,10 +45,12 @@ from typing import Dict, List, Optional
 from ..il import nodes as N
 from ..opt.fold import const_int_value
 from ..titan.config import TitanConfig
+from . import schemas
 from .counters import CounterStore, counters_from_result
+from .metrics import MetricsRegistry
 from .trace import jsonable
 
-REPORT_SCHEMA = "titancc-report/2"
+REPORT_SCHEMA = schemas.REPORT
 
 
 # ---------------------------------------------------------------------------
@@ -317,6 +324,42 @@ def pass_checks_section(checker) -> Dict[str, object]:
 
 
 # ---------------------------------------------------------------------------
+# Metrics section (schema /3)
+# ---------------------------------------------------------------------------
+
+
+def metrics_from_result(result, counters: CounterStore,
+                        loops: List[Dict[str, object]],
+                        registry: Optional[MetricsRegistry] = None,
+                        trace_spans: bool = True) -> MetricsRegistry:
+    """Build the report's :class:`MetricsRegistry`: the pass-counter
+    table as one labeled counter family, per-loop coverage and
+    miss-reason counters, and span-duration histograms from the
+    compile's trace.  Pass an existing ``registry`` (e.g. a session
+    registry already fed by a :class:`SpanMetricsConsumer`) with
+    ``trace_spans=False`` to add the counter/loop families without
+    double-counting spans."""
+    if registry is None:
+        registry = MetricsRegistry()
+    registry.absorb_counters(counters)
+    for row in loops:
+        registry.counter("titancc_loops_total", {
+            "function": row["function"], "status": row["status"],
+        }).inc()
+        if row["status"] == "serial" and row.get("reason"):
+            registry.counter("titancc_loop_miss_reasons_total", {
+                "reason": row["reason"],
+            }).inc()
+    if trace_spans:
+        for event in result.trace.events:
+            labels = {"name": event.name, "cat": event.cat}
+            registry.counter("titancc_spans_total", labels).inc()
+            registry.histogram("titancc_span_seconds", labels) \
+                .observe(event.duration_us / 1e6)
+    return registry
+
+
+# ---------------------------------------------------------------------------
 # The report
 # ---------------------------------------------------------------------------
 
@@ -337,6 +380,9 @@ class CompilationReport:
     #: when the compile ran unchecked, else ``{"snapshots": [...],
     #: "executions": n, "divergence": {...}|None}``.
     pass_checks: Optional[Dict[str, object]] = None
+    #: Schema /3: the compile's MetricsRegistry (counters as one
+    #: labeled family + coverage counters + span histograms).
+    metrics: MetricsRegistry = field(default_factory=MetricsRegistry)
     schema: str = REPORT_SCHEMA
 
     @classmethod
@@ -344,17 +390,20 @@ class CompilationReport:
                     titan_report=None,
                     config: Optional[TitanConfig] = None,
                     checker=None) -> "CompilationReport":
+        counters = counters_from_result(result)
+        loops = loop_coverage(result)
         return cls(
             source=filename or result.remarks.filename,
             options=dataclasses.asdict(result.options),
-            counters=counters_from_result(result),
+            counters=counters,
             remarks=list(result.remarks),
-            loops=loop_coverage(result),
+            loops=loops,
             dep_graphs=list(result.dep_graphs),
             trace_events=list(result.trace.events),
             titan=titan_section(result, config, titan_report),
             pass_checks=pass_checks_section(checker)
             if checker is not None else None,
+            metrics=metrics_from_result(result, counters, loops),
         )
 
     # -- queries -------------------------------------------------------
@@ -396,6 +445,7 @@ class CompilationReport:
             ],
             "titan": jsonable(self.titan),
             "pass_checks": jsonable(self.pass_checks),
+            "metrics": self.metrics.to_dict(),
         }
 
     def to_json(self, indent: Optional[int] = 1) -> str:
@@ -403,5 +453,6 @@ class CompilationReport:
                           ensure_ascii=True)
 
     def write(self, path: str) -> None:
-        with open(path, "w") as handle:
-            handle.write(self.to_json())
+        """Validated, atomic write; ``path == "-"`` streams to
+        stdout."""
+        schemas.write_json_artifact(path, self.to_dict())

@@ -7,6 +7,14 @@ format: ``{"traceEvents": [{"name", "cat", "ph", "ts", "dur", "pid",
 "tid", "args"}, ...]}`` with complete events (``ph == "X"``) and
 microsecond timestamps.
 
+Since the unified-telemetry refactor the tracer is one *consumer* of
+the hierarchical span substrate (:mod:`repro.obs.telemetry`): its
+``span()`` method delegates to a private :class:`Telemetry` whose only
+subscriber is the tracer itself, so the Chrome export is unchanged,
+while the same spans are forwarded to any process-global telemetry
+session (JSONL event log, metrics histograms) that happens to be
+active.
+
 Each span also records work metrics (statement counts before/after,
 per-pass stats deltas) in the event ``args``, so a trace answers both
 "where did compile time go" and "which phase did how much rewriting"
@@ -18,9 +26,10 @@ from __future__ import annotations
 import json
 import os
 import time
-from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional
+from typing import Dict, List, Optional
+
+from .telemetry import Span, Telemetry
 
 
 def jsonable(value):
@@ -65,31 +74,31 @@ class TraceEvent:
 
 
 class PassTracer:
-    """Records phase spans; exports Chrome trace-event JSON."""
+    """Records phase spans; exports Chrome trace-event JSON.
+
+    A span consumer over a private :class:`Telemetry` — always
+    enabled for its own compile (the per-compile trace stays free to
+    collect, as before), forwarding to the global session when one is
+    active so ``--events-jsonl`` and metrics histograms see the same
+    spans."""
 
     def __init__(self, clock=time.perf_counter):
-        self._clock = clock
-        self._origin = clock()
+        self._telemetry = Telemetry(consumers=(self,), clock=clock,
+                                    forward_global=True)
+        self._origin = self._telemetry.origin
         self.events: List[TraceEvent] = []
 
-    def _now_us(self) -> float:
-        return (self._clock() - self._origin) * 1e6
-
-    @contextmanager
-    def span(self, name: str, cat: str = "phase",
-             **static_args) -> Iterator[Dict[str, object]]:
+    def span(self, name: str, cat: str = "phase", **static_args):
         """Time a phase.  The yielded dict collects extra ``args``
         (statement counts, stats deltas) to attach to the event."""
-        args: Dict[str, object] = dict(static_args)
-        start = self._now_us()
-        try:
-            yield args
-        finally:
-            end = self._now_us()
-            self.events.append(TraceEvent(name=name, cat=cat,
-                                          start_us=start,
-                                          duration_us=end - start,
-                                          args=args))
+        return self._telemetry.span(name, cat, **static_args)
+
+    def on_span(self, finished: Span) -> None:
+        self.events.append(
+            TraceEvent(name=finished.name, cat=finished.cat,
+                       start_us=finished.start_us(self._origin),
+                       duration_us=finished.duration_us,
+                       args=finished.args))
 
     # -- queries -------------------------------------------------------
 
@@ -109,8 +118,12 @@ class PassTracer:
     # -- export --------------------------------------------------------
 
     def to_chrome(self) -> Dict[str, object]:
+        from .schemas import TRACE
         pid = os.getpid()
         return {
+            # Extra top-level key; chrome://tracing/Perfetto ignore it
+            # and the schema test can recognize the artifact.
+            "schema": TRACE,
             "traceEvents": [e.to_chrome(pid) for e in self.events],
             "displayTimeUnit": "ms",
             "otherData": {"producer": "titancc PassTracer"},
@@ -121,5 +134,6 @@ class PassTracer:
                           ensure_ascii=True)
 
     def write(self, path: str) -> None:
-        with open(path, "w") as handle:
-            handle.write(self.to_json(indent=1))
+        """Atomic write; ``path == "-"`` streams to stdout."""
+        from .schemas import atomic_write_text
+        atomic_write_text(path, self.to_json(indent=1) + "\n")

@@ -81,6 +81,8 @@ class LoopScheduler:
         self.remarks = remarks
 
     def run(self, fn: N.ILFunction) -> Dict[int, LoopSchedule]:
+        from ..obs import telemetry
+
         def visit(loop: N.Stmt, owner: List[N.Stmt], index: int) -> None:
             if isinstance(loop, N.DoLoop) and not loop.vector \
                     and not loop.parallel:
@@ -106,7 +108,12 @@ class LoopScheduler:
                             resource_bound=schedule.resource_bound,
                             recurrence_bound=schedule.recurrence_bound)
 
-        utils.for_each_loop(fn.body, visit)
+        before = len(self.schedules)
+        with telemetry.span("schedule-function", cat="analysis",
+                            function=fn.name) as targs:
+            utils.for_each_loop(fn.body, visit)
+            if targs:
+                targs["scheduled"] = len(self.schedules) - before
         return self.schedules
 
     # ------------------------------------------------------------------

@@ -92,7 +92,12 @@ class TitanSimulator:
         return self.interpreter.global_scalar(name)
 
     def run(self, entry: str = "main", *args: Value) -> TitanReport:
-        result = self.interpreter.run(entry, *args)
+        from ..obs import telemetry
+        with telemetry.span("simulate", cat="engine",
+                            engine=self.engine, entry=entry) as targs:
+            result = self.interpreter.run(entry, *args)
+            if targs:
+                targs["cycles"] = self.cost_model.cycles
         model = self.cost_model
         profile = self.profiler.report(model.cycles) \
             if self.profiler is not None else None

@@ -1,0 +1,176 @@
+"""Tests for the session dashboard: artifact loading, the derived
+views, and the static-HTML renderer."""
+
+import json
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.obs import schemas
+from repro.obs.dashboard import SessionData, main, render
+from repro.obs.metrics import MetricsRegistry
+
+
+def write_events(directory, lines):
+    with open(str(directory / "events.jsonl"), "w") as handle:
+        for line in lines:
+            line.setdefault("schema", schemas.EVENTS)
+            handle.write(json.dumps(line) + "\n")
+
+
+def span(name, cat, dur_us, **args):
+    return {"type": "span", "name": name, "cat": cat,
+            "ts_us": 0.0, "dur_us": dur_us, "id": 1, "parent": None,
+            "depth": 0, "args": args}
+
+
+@pytest.fixture
+def session(tmp_path):
+    """A session directory with all three artifact kinds."""
+    registry = MetricsRegistry()
+    registry.counter("titancc_loops_total",
+                     {"function": "daxpy",
+                      "status": "vectorized"}).inc(2)
+    registry.counter("titancc_loops_total",
+                     {"function": "solve", "status": "scalar"}).inc()
+    registry.counter("titancc_loop_miss_reasons_total",
+                     {"reason": "dependence cycle"}).inc(3)
+    registry.counter("titancc_fuzz_programs_total",
+                     {"status": "ok"}).inc(9)
+    registry.counter("titancc_fuzz_programs_total",
+                     {"status": "reject"}).inc(1)
+    write_events(tmp_path, [
+        span("front-end", "phase", 2e6),
+        span("vectorize", "pass", 1e6),
+        span("vectorize", "pass", 5e5),
+        span("engine-run", "engine", 9e6),  # not compile-side
+        {"type": "worker", "seed": 3, "count": 5, "seconds": 2.0,
+         "failures": 0},
+        {"type": "worker", "seed": 8, "count": 5, "seconds": 4.0,
+         "failures": 1},
+        {"type": "metrics", "metrics": registry.to_dict()},
+    ])
+    (tmp_path / "summary.json").write_text(json.dumps({
+        "schema": schemas.FUZZ, "seed": 3, "count": 10, "ok": 9,
+        "rejected": 1, "divergences": 0, "crashes": 0,
+        "failures": []}))
+    (tmp_path / "BENCH_e13_engine.json").write_text(json.dumps({
+        "schema": schemas.BENCH, "name": "e13_engine",
+        "variants": {"daxpy": {"host_engine_speedup_steps": 12.0,
+                               "cycles": 100}},
+        "history": [{"variants": {"daxpy": {
+            "host_engine_speedup_steps": 10.0}}}]}))
+    return tmp_path
+
+
+class TestSessionData:
+    def test_pass_walltimes_sum_compile_side_spans(self, session):
+        walltimes = SessionData(str(session)).pass_walltimes()
+        assert walltimes == [("front-end", pytest.approx(2.0)),
+                             ("vectorize", pytest.approx(1.5))]
+
+    def test_walltimes_fall_back_to_metric_histograms(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.histogram("titancc_span_seconds",
+                           {"name": "fold", "cat": "pass"}) \
+            .observe(0.25)
+        write_events(tmp_path, [
+            {"type": "metrics", "metrics": registry.to_dict()}])
+        walltimes = SessionData(str(tmp_path)).pass_walltimes()
+        assert walltimes == [("fold", pytest.approx(0.25))]
+
+    def test_loop_coverage_and_miss_reasons(self, session):
+        data = SessionData(str(session))
+        assert data.loop_coverage() == [
+            ("daxpy", {"vectorized": 2}), ("solve", {"scalar": 1})]
+        assert data.miss_reasons() == [("dependence cycle", 3)]
+
+    def test_fuzz_outcomes_sorted_by_count(self, session):
+        assert SessionData(str(session)).fuzz_outcomes() == [
+            ("ok", 9), ("reject", 1)]
+
+    def test_worker_throughput_rates(self, session):
+        rows = SessionData(str(session)).worker_throughput()
+        assert [(label, rate) for label, rate, _ in rows] == [
+            ("seed 3", pytest.approx(2.5)),
+            ("seed 8", pytest.approx(1.25))]
+
+    def test_speedup_trends_walk_history_to_current(self, session):
+        (trend,) = SessionData(str(session)).speedup_trends()
+        label, series = trend
+        assert label == \
+            "e13_engine/daxpy/host_engine_speedup_steps"
+        assert series == [10.0, 12.0]
+
+    def test_summary_workers_used_when_event_log_absent(self,
+                                                        tmp_path):
+        (tmp_path / "summary.json").write_text(json.dumps({
+            "schema": schemas.FUZZ, "seed": 0, "count": 4, "ok": 4,
+            "rejected": 0, "divergences": 0, "crashes": 0,
+            "failures": [], "workers": [
+                {"seed": 0, "count": 4, "seconds": 2.0}]}))
+        rows = SessionData(str(tmp_path)).worker_throughput()
+        assert [(label, rate) for label, rate, _ in rows] == [
+            ("seed 0", pytest.approx(2.0))]
+
+    def test_malformed_artifacts_are_skipped(self, tmp_path):
+        (tmp_path / "events.jsonl").write_text("not json\n\n")
+        (tmp_path / "summary.json").write_text("{broken")
+        (tmp_path / "BENCH_x.json").write_text('{"schema": "other"}')
+        data = SessionData(str(tmp_path))
+        assert data.spans == [] and data.summary is None
+        assert data.benches == []
+
+
+class TestRender:
+    def test_all_sections_present(self, session):
+        html = render(SessionData(str(session)))
+        for heading in ("Pass wall time", "Vector coverage",
+                        "Vectorization miss reasons",
+                        "Fuzz throughput", "Fuzz outcomes",
+                        "Engine speedup trends", "spans recorded"):
+            assert heading in html
+
+    def test_svgs_are_well_formed(self, session):
+        html = render(SessionData(str(session)))
+        svgs = html.split("<svg")[1:]
+        assert len(svgs) >= 3
+        for chunk in svgs:
+            ET.fromstring("<svg" + chunk.split("</svg>")[0]
+                          + "</svg>")
+        assert "NaN" not in html
+
+    def test_empty_session_renders_hint(self, tmp_path):
+        html = render(SessionData(str(tmp_path)))
+        assert "No telemetry artifacts found" in html
+
+    def test_directory_name_is_escaped(self, tmp_path):
+        evil = tmp_path / "a<b>&c"
+        evil.mkdir()
+        html = render(SessionData(str(evil)))
+        assert "a<b>&c" not in html
+        assert "a&lt;b&gt;&amp;c" in html
+
+
+class TestMain:
+    def test_writes_dashboard_html(self, session, capsys):
+        assert main([str(session)]) == 0
+        html = (session / "dashboard.html").read_text()
+        assert html.startswith("<!doctype html>")
+        assert "Pass wall time" in html
+        assert "dashboard: wrote" in capsys.readouterr().err
+
+    def test_explicit_output_path(self, session, tmp_path):
+        out = tmp_path / "elsewhere" / "index.html"
+        assert main([str(session), "-o", str(out)]) == 0
+        assert out.exists()
+
+    def test_dash_streams_to_stdout(self, session, capsys):
+        assert main([str(session), "-o", "-"]) == 0
+        captured = capsys.readouterr()
+        assert captured.out.startswith("<!doctype html>")
+        assert "dashboard: wrote" not in captured.err
+
+    def test_missing_directory_exits_2(self, tmp_path, capsys):
+        assert main([str(tmp_path / "nope")]) == 2
+        assert "not a directory" in capsys.readouterr().err

@@ -24,6 +24,7 @@ from repro.fuzz import (CLEAN_REJECTIONS, GeneratorOptions,
                         reduce_source, run_source, seed_chunks)
 from repro.frontend.lexer import LexError
 from repro.frontend.parser import ParseError
+from repro.obs.metrics import MetricsRegistry
 
 CORPUS_DIR = os.path.join(os.path.dirname(__file__), "fuzz_corpus")
 SRC_DIR = os.path.join(os.path.dirname(__file__), os.pardir, "src")
@@ -188,6 +189,57 @@ class TestCLI:
         assert [w["count"] for w in workers] == [2, 2]
         assert all(w["seconds"] > 0 for w in workers)
 
+    def test_jobs_summary_matches_sequential_byte_for_byte(
+            self, tmp_path):
+        # Cross-process determinism, end to end: a --jobs 2 run's
+        # summary.json equals the sequential run's except for the
+        # wall-clock worker timings and the jobs count itself — and
+        # the merged metrics block is byte-identical.
+        for jobs, name in (("1", "seq"), ("2", "par")):
+            proc = self._run("--seed", "7", "--count", "4",
+                             "--jobs", jobs, "--quiet",
+                             "--out", str(tmp_path / name))
+            assert proc.returncode == 0, proc.stderr
+        seq = json.loads((tmp_path / "seq" / "summary.json")
+                         .read_text())
+        par = json.loads((tmp_path / "par" / "summary.json")
+                         .read_text())
+        assert json.dumps(par["metrics"], sort_keys=True) == \
+            json.dumps(seq["metrics"], sort_keys=True)
+        for doc in (seq, par):
+            doc.pop("jobs")
+            doc.pop("workers", None)
+        assert json.dumps(par, sort_keys=True) == \
+            json.dumps(seq, sort_keys=True)
+
+    def test_events_log_records_workers_and_metrics(self, tmp_path):
+        proc = self._run("--seed", "3", "--count", "4", "--jobs", "2",
+                         "--out", str(tmp_path / "out"), "--quiet")
+        assert proc.returncode == 0, proc.stderr
+        lines = [json.loads(line) for line in
+                 (tmp_path / "out" / "events.jsonl")
+                 .read_text().splitlines()]
+        assert all(line["schema"] == "titancc-events/1"
+                   for line in lines)
+        by_type = {}
+        for line in lines:
+            by_type.setdefault(line["type"], []).append(line)
+        assert [w["seed"] for w in by_type["worker"]] == [3, 5]
+        assert len(by_type["span"]) == 1  # the fuzz-run span
+        assert by_type["span"][0]["name"] == "fuzz-run"
+        assert len(by_type["metrics"]) == 1
+
+    def test_log_json_streams_structured_progress(self, tmp_path):
+        proc = self._run("--seed", "3", "--count", "2", "--log-json",
+                         "--out", str(tmp_path / "out"))
+        assert proc.returncode == 0, proc.stderr
+        records = [json.loads(line) for line in
+                   proc.stderr.splitlines() if line.strip()]
+        assert records, proc.stderr
+        assert all(r["schema"] == "titancc-events/1"
+                   and r["type"] == "log" for r in records)
+        assert any(r["message"] == "progress" for r in records)
+
 
 class TestParallelFuzz:
     def test_seed_chunks_partition(self):
@@ -202,13 +254,32 @@ class TestParallelFuzz:
         assert seeds == list(range(100, 123))
 
     def test_parallel_merge_matches_sequential(self):
-        sequential = fuzz(11, 5).to_dict()
-        merged, timings = fuzz_parallel(11, 5, 2)
+        seq_registry = MetricsRegistry()
+        sequential = fuzz(11, 5, registry=seq_registry).to_dict()
+        merged, timings, metrics = fuzz_parallel(11, 5, 2)
         assert merged.to_dict() == sequential
         assert [t["seed"] for t in timings] == [11, 14]
         assert sum(t["count"] for t in timings) == 5
+        # Cross-process metrics determinism: the parent's merged
+        # registry is exactly the sequential run's, byte for byte.
+        assert metrics.to_dict() == seq_registry.to_dict()
+        assert json.dumps(metrics.to_dict(), sort_keys=True) == \
+            json.dumps(seq_registry.to_dict(), sort_keys=True)
 
     def test_single_job_runs_inline(self):
-        merged, timings = fuzz_parallel(11, 2, 1)
+        merged, timings, metrics = fuzz_parallel(11, 2, 1)
         assert merged.to_dict() == fuzz(11, 2).to_dict()
         assert len(timings) == 1 and timings[0]["count"] == 2
+        assert metrics.sum_values("titancc_fuzz_programs_total") == 2
+
+    def test_merged_histograms_are_worker_sums(self):
+        # Each worker observes its chunk's source sizes; the merged
+        # histogram's bucket counts are the elementwise sum.
+        _, _, merged = fuzz_parallel(11, 4, 2)
+        workers = [MetricsRegistry(), MetricsRegistry()]
+        fuzz(11, 2, registry=workers[0])
+        fuzz(13, 2, registry=workers[1])
+        resum = MetricsRegistry()
+        for worker in workers:
+            resum.merge(worker.to_dict())
+        assert merged.to_dict() == resum.to_dict()

@@ -247,12 +247,12 @@ class TestRegressGate:
 
 
 class TestCommittedBaselines:
-    """The repo ships baselines for all 12 experiments; they must stay
+    """The repo ships baselines for every experiment; they must stay
     valid documents."""
 
     def test_baselines_present_and_versioned(self, regress):
         docs = regress.load_benches(regress.BASELINE_DIR)
-        assert len(docs) == 13
+        assert len(docs) == 14
         for name, doc in docs.items():
             assert doc["schema"] == regress.BENCH_SCHEMA
             assert doc["variants"], name
@@ -274,3 +274,12 @@ class TestCommittedBaselines:
             speedup = variants[workload]["host_engine_speedup_steps"]
             assert speedup >= 10.0, (workload, speedup)
         assert variants["transform"]["host_engine_speedup_steps"] > 0
+
+    def test_telemetry_overhead_recorded(self, regress):
+        # The E14 acceptance criterion: the enabled-session span count
+        # is deterministic (gated exactly) and the telemetry speedup
+        # ratio rides as a gated host metric.
+        docs = regress.load_benches(regress.BASELINE_DIR)
+        engine = docs["e14_telemetry"]["variants"]["engine"]
+        assert engine["enabled_span_records"] == 7.0
+        assert engine["host_telemetry_speedup"] > 0.6

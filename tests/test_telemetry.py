@@ -1,0 +1,294 @@
+"""Tests for the telemetry substrate: hierarchical spans, session
+attach/detach, the pipeline SpanHook, the JSONL event-log writer, and
+the structured logger."""
+
+import io
+import json
+
+import pytest
+
+from repro.obs import schemas, telemetry
+from repro.obs.log import Logger
+from repro.obs.telemetry import (EventLogWriter, Span, SpanHook,
+                                 Telemetry)
+
+
+class Collector:
+    """Minimal consumer: keeps every finished span."""
+
+    def __init__(self):
+        self.spans = []
+
+    def on_span(self, span):
+        self.spans.append(span)
+
+
+class TickClock:
+    """Deterministic clock advancing 1.0s per read."""
+
+    def __init__(self):
+        self.now = 0.0
+        self.reads = 0
+
+    def __call__(self):
+        self.reads += 1
+        self.now += 1.0
+        return self.now
+
+
+# ---------------------------------------------------------------------------
+# Span mechanics
+# ---------------------------------------------------------------------------
+
+
+class TestSpans:
+    def test_disabled_span_never_reads_the_clock(self):
+        clock = TickClock()
+        source = Telemetry(consumers=(), clock=clock,
+                           forward_global=False)
+        reads_after_init = clock.reads  # origin read at construction
+        with source.span("work") as targs:
+            targs["n"] = 1  # throwaway dict — must not crash
+        assert clock.reads == reads_after_init
+        assert not source.enabled
+
+    def test_enabled_span_delivers_to_consumer(self):
+        sink = Collector()
+        source = Telemetry(consumers=(sink,), clock=TickClock(),
+                           forward_global=False)
+        with source.span("compile", cat="phase", file="a.c") as targs:
+            targs["loops"] = 3
+        assert len(sink.spans) == 1
+        span = sink.spans[0]
+        assert span.name == "compile" and span.cat == "phase"
+        assert span.args == {"file": "a.c", "loops": 3}
+        assert span.duration_us == pytest.approx(1e6)
+
+    def test_spans_nest_with_parent_ids_and_depth(self):
+        sink = Collector()
+        source = Telemetry(consumers=(sink,), forward_global=False)
+        with source.span("outer"):
+            outer_id = telemetry.current_span_id()
+            with source.span("inner"):
+                assert telemetry.current_span_id() != outer_id
+        inner, outer = sink.spans  # inner closes first
+        assert inner.name == "inner" and outer.name == "outer"
+        assert inner.parent_id == outer.span_id
+        assert inner.depth == outer.depth + 1
+        assert outer.parent_id is None
+
+    def test_nesting_spans_across_telemetry_instances(self):
+        # A pass span from one source parents under a phase span from
+        # another — the context stack is module-level.
+        sink_a, sink_b = Collector(), Collector()
+        a = Telemetry(consumers=(sink_a,), forward_global=False)
+        b = Telemetry(consumers=(sink_b,), forward_global=False)
+        with a.span("phase"):
+            with b.span("pass"):
+                pass
+        assert sink_b.spans[0].parent_id == sink_a.spans[0].span_id
+
+    def test_static_args_survive_without_targs_writes(self):
+        sink = Collector()
+        source = Telemetry(consumers=(sink,), forward_global=False)
+        with source.span("analyze", loop="i"):
+            pass
+        assert sink.spans[0].args == {"loop": "i"}
+
+    def test_start_us_is_relative_to_consumer_origin(self):
+        span = Span(name="x", cat="phase", start=5.0,
+                    duration_us=1.0, span_id=1, parent_id=None,
+                    depth=0)
+        assert span.start_us(origin=2.0) == pytest.approx(3e6)
+
+
+# ---------------------------------------------------------------------------
+# The global session
+# ---------------------------------------------------------------------------
+
+
+class TestSession:
+    def test_disabled_by_default_and_observation_free(self):
+        assert not telemetry.enabled()
+        with telemetry.span("anything") as targs:
+            assert targs == {}
+        assert not telemetry.enabled()
+
+    def test_session_attaches_and_detaches(self):
+        sink = Collector()
+        with telemetry.session(sink):
+            assert telemetry.enabled()
+            with telemetry.span("inside"):
+                pass
+        assert not telemetry.enabled()
+        with telemetry.span("outside"):
+            pass
+        assert [s.name for s in sink.spans] == ["inside"]
+
+    def test_session_detaches_on_exception(self):
+        sink = Collector()
+        with pytest.raises(RuntimeError):
+            with telemetry.session(sink):
+                raise RuntimeError("boom")
+        assert not telemetry.enabled()
+
+    def test_private_source_forwards_to_global_session(self):
+        # A per-compile tracer (forward_global=True) is observed by
+        # the global session's consumers without re-plumbing.
+        private_sink, session_sink = Collector(), Collector()
+        tracer = Telemetry(consumers=(private_sink,),
+                           forward_global=True)
+        with tracer.span("unobserved"):
+            pass
+        with telemetry.session(session_sink):
+            with tracer.span("observed"):
+                pass
+        assert [s.name for s in private_sink.spans] == \
+            ["unobserved", "observed"]
+        assert [s.name for s in session_sink.spans] == ["observed"]
+
+    def test_remove_consumer_tolerates_absence(self):
+        telemetry.remove_consumer(object())  # no raise
+
+
+# ---------------------------------------------------------------------------
+# SpanHook (the pipeline seam)
+# ---------------------------------------------------------------------------
+
+
+class TestSpanHook:
+    def test_paired_callbacks_become_pass_spans(self):
+        sink = Collector()
+        hook = SpanHook(Telemetry(consumers=(sink,),
+                                  forward_global=False))
+        hook.before_pass("vectorize", function="daxpy", round_no=2)
+        hook.after_pass("vectorize", program=None, function="daxpy",
+                        round_no=2)
+        assert len(sink.spans) == 1
+        span = sink.spans[0]
+        assert span.name == "vectorize" and span.cat == "pass"
+        assert span.args == {"function": "daxpy", "round": 2}
+
+    def test_stray_after_pass_is_ignored(self):
+        sink = Collector()
+        hook = SpanHook(Telemetry(consumers=(sink,),
+                                  forward_global=False))
+        hook.after_pass("front-end", program=None)
+        assert sink.spans == []
+
+    def test_nested_passes_unwind_in_order(self):
+        sink = Collector()
+        hook = SpanHook(Telemetry(consumers=(sink,),
+                                  forward_global=False))
+        hook.before_pass("outer")
+        hook.before_pass("inner")
+        hook.after_pass("inner", program=None)
+        hook.after_pass("outer", program=None)
+        inner, outer = sink.spans
+        assert inner.parent_id == outer.span_id
+
+    def test_defaults_to_the_global_session(self):
+        sink = Collector()
+        hook = SpanHook()
+        with telemetry.session(sink):
+            hook.before_pass("fold")
+            hook.after_pass("fold", program=None)
+        assert [s.name for s in sink.spans] == ["fold"]
+
+
+# ---------------------------------------------------------------------------
+# EventLogWriter (titancc-events/1 JSONL)
+# ---------------------------------------------------------------------------
+
+
+class TestEventLogWriter:
+    def _lines(self, buffer):
+        return [json.loads(line) for line in
+                buffer.getvalue().splitlines()]
+
+    def test_span_lines_carry_schema_and_validate(self):
+        buffer = io.StringIO()
+        writer = EventLogWriter(buffer, clock=TickClock())
+        source = Telemetry(consumers=(writer,), clock=TickClock(),
+                           forward_global=False)
+        with source.span("compile", cat="phase") as targs:
+            targs["loops"] = 2
+        writer.close()
+        (line,) = self._lines(buffer)
+        assert schemas.validate_document(line) == schemas.EVENTS
+        assert line["type"] == "span"
+        assert line["name"] == "compile"
+        assert line["dur_us"] == pytest.approx(1e6)
+        assert line["args"] == {"loops": 2}
+        assert isinstance(line["pid"], int)
+
+    def test_write_metrics_snapshot_line(self):
+        from repro.obs.metrics import MetricsRegistry
+        registry = MetricsRegistry()
+        registry.counter("titancc_fuzz_programs_total",
+                         {"status": "ok"}).inc(3)
+        buffer = io.StringIO()
+        writer = EventLogWriter(buffer)
+        writer.write_metrics(registry)
+        (line,) = self._lines(buffer)
+        assert line["type"] == "metrics"
+        assert line["metrics"] == registry.to_dict()
+
+    def test_owns_and_closes_path_streams(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with EventLogWriter(str(path)) as writer:
+            writer.emit("worker", seed=7, count=10)
+        assert writer._stream.closed
+        (line,) = [json.loads(l) for l in
+                   path.read_text().splitlines()]
+        assert line["type"] == "worker" and line["seed"] == 7
+
+    def test_lines_written_counts_every_emit(self):
+        buffer = io.StringIO()
+        writer = EventLogWriter(buffer)
+        writer.emit("log", level="info")
+        writer.emit("log", level="warning")
+        assert writer.lines_written == 2
+
+
+# ---------------------------------------------------------------------------
+# Structured logger
+# ---------------------------------------------------------------------------
+
+
+class TestLogger:
+    def test_text_mode_formats_name_level_fields(self):
+        buffer = io.StringIO()
+        log = Logger("fuzz", stream=buffer)
+        log.info("progress", done=25, total=100)
+        log.warning("slow worker", seed=3)
+        assert buffer.getvalue() == (
+            "fuzz: progress done=25 total=100\n"
+            "fuzz: warning: slow worker seed=3\n")
+
+    def test_quiet_drops_info_keeps_warnings(self):
+        buffer = io.StringIO()
+        log = Logger("fuzz", stream=buffer, quiet=True)
+        log.debug("noise")
+        log.info("noise")
+        log.warning("kept")
+        log.error("kept too")
+        assert "noise" not in buffer.getvalue()
+        assert "warning: kept" in buffer.getvalue()
+        assert "error: kept too" in buffer.getvalue()
+
+    def test_json_mode_emits_events_schema(self):
+        buffer = io.StringIO()
+        log = Logger("regress", stream=buffer, json_mode=True,
+                     clock=lambda: 12.0)
+        log.error("3 regression(s)", checked=41)
+        (line,) = [json.loads(l) for l in
+                   buffer.getvalue().splitlines()]
+        assert schemas.validate_document(line) == schemas.EVENTS
+        assert line["type"] == "log" and line["level"] == "error"
+        assert line["logger"] == "regress"
+        assert line["checked"] == 41 and line["t"] == 12.0
+
+    def test_unknown_level_raises(self):
+        with pytest.raises(ValueError):
+            Logger(stream=io.StringIO()).log("fatal", "no such level")
