@@ -30,6 +30,17 @@ Standard library only, runnable as a plain script::
     python benchmarks/regress.py                  # gate
     python benchmarks/regress.py --update         # accept current run
     python benchmarks/regress.py --tolerance 0.1
+    python benchmarks/regress.py --explain        # red gate? write
+                                                  # diff + attribution
+
+``--explain`` makes a red gate self-diagnosing: for every regressed
+bench it writes a ``titancc-reportdiff/1`` baseline-vs-current diff
+(naming the worst-regressed metric) and, for benches with a registered
+workload, a ``titancc-attrib/1`` per-pass cycle waterfall — the
+artifacts CI uploads on failure.  ``--update`` additionally stamps
+each accepted snapshot with a monotonically increasing ``run_index``
+(no wall clock, byte-deterministic) so ``repro.obs.history`` has a
+stable x-axis.
 """
 
 from __future__ import annotations
@@ -156,16 +167,23 @@ def relative_change(baseline: float, current: float) -> float:
     return (current - baseline) / abs(baseline)
 
 
-def compare(baselines: Dict[str, dict], current: Dict[str, dict],
-            tolerance: float, log: "Logger" = None) -> List[str]:
-    """Human-readable regression lines (empty = gate passes)."""
-    log = log or Logger("regress", stream=sys.stdout)
-    regressions: List[str] = []
+def compare_structured(baselines: Dict[str, dict],
+                       current: Dict[str, dict],
+                       tolerance: float) -> List[dict]:
+    """Metric-by-metric comparison records.  Each record carries
+    ``kind`` (``regression`` / ``improvement`` / ``info`` /
+    ``missing``), the bench/variant/metric coordinates, both values,
+    and a preformatted human ``line`` — :func:`compare` and
+    ``--explain`` both consume this one comparison."""
+    records: List[dict] = []
     for name, base_doc in sorted(baselines.items()):
         cur_doc = current.get(name)
         if cur_doc is None:
-            regressions.append(f"{name}: missing from current run "
-                               f"(benchmark deleted or not run)")
+            records.append({
+                "kind": "missing", "bench": name, "variant": None,
+                "metric": None, "baseline": None, "current": None,
+                "line": f"{name}: missing from current run "
+                        f"(benchmark deleted or not run)"})
             continue
         cur_variants = cur_doc.get("variants") or {}
         for variant, metric, base_value in iter_metrics(base_doc):
@@ -174,9 +192,12 @@ def compare(baselines: Dict[str, dict], current: Dict[str, dict],
             cur_values = cur_variants.get(variant)
             if cur_values is None or metric not in cur_values:
                 if not informational:
-                    regressions.append(
-                        f"{name}/{variant}: metric {metric} missing "
-                        f"from current run")
+                    records.append({
+                        "kind": "missing", "bench": name,
+                        "variant": variant, "metric": metric,
+                        "baseline": base_value, "current": None,
+                        "line": f"{name}/{variant}: metric {metric} "
+                                f"missing from current run"})
                 continue
             cur_value = float(cur_values[metric])
             change = relative_change(base_value, cur_value)
@@ -184,17 +205,41 @@ def compare(baselines: Dict[str, dict], current: Dict[str, dict],
                 else change < -effective
             arrow = f"{base_value:g} -> {cur_value:g} " \
                     f"({change * 100:+.1f}%)"
+            record = {"bench": name, "variant": variant,
+                      "metric": metric, "baseline": base_value,
+                      "current": cur_value, "change": change}
             if bad:
-                regressions.append(
+                record["kind"] = "regression"
+                record["line"] = (
                     f"{name}/{variant}: {metric} regressed: {arrow} "
                     f"(tolerance {effective * 100:.0f}%)")
             elif informational:
-                if abs(change) > tolerance:
-                    log.info(f"info (not gated) "
-                             f"{name}/{variant} {metric}: {arrow}")
+                if abs(change) <= tolerance:
+                    continue
+                record["kind"] = "info"
+                record["line"] = (f"info (not gated) "
+                                  f"{name}/{variant} {metric}: "
+                                  f"{arrow}")
             elif abs(change) > effective:
-                log.info(f"improvement {name}/{variant} "
-                         f"{metric}: {arrow}")
+                record["kind"] = "improvement"
+                record["line"] = (f"improvement {name}/{variant} "
+                                  f"{metric}: {arrow}")
+            else:
+                continue
+            records.append(record)
+    return records
+
+
+def compare(baselines: Dict[str, dict], current: Dict[str, dict],
+            tolerance: float, log: "Logger" = None) -> List[str]:
+    """Human-readable regression lines (empty = gate passes)."""
+    log = log or Logger("regress", stream=sys.stdout)
+    regressions: List[str] = []
+    for record in compare_structured(baselines, current, tolerance):
+        if record["kind"] in ("regression", "missing"):
+            regressions.append(record["line"])
+        else:
+            log.info(record["line"])
     return regressions
 
 
@@ -220,26 +265,102 @@ def atomic_write_json(path: str, doc: dict) -> None:
 def update_baselines(current: Dict[str, dict], baseline_dir: str,
                      log: "Logger" = None) -> None:
     """Accept the current run: move old metrics into each baseline's
-    ``history`` list (capped), write current values on top."""
+    ``history`` list (capped), write current values on top.
+
+    Every accepted snapshot is stamped with a monotonically increasing
+    ``run_index`` — the stable x-axis ``repro.obs.history`` plots
+    against.  The index advances by one per ``--update`` regardless of
+    wall clock, so rewritten baselines stay byte-deterministic; the
+    snapshot pushed into ``history`` keeps the index it was accepted
+    under (pre-stamping history entries fall back to their list
+    position)."""
     log = log or Logger("regress", stream=sys.stdout)
     os.makedirs(baseline_dir, exist_ok=True)
     for name, doc in sorted(current.items()):
         path = os.path.join(baseline_dir, f"BENCH_{name}.json")
         history: List[dict] = []
+        run_index = 0
         if os.path.exists(path):
             try:
                 with open(path) as handle:
                     old = json.load(handle)
                 history = list(old.get("history") or [])
+                old_index = old.get("run_index", len(history))
+                run_index = old_index + 1
                 if old.get("variants"):
-                    history.append({"variants": old["variants"]})
+                    history.append({"run_index": old_index,
+                                    "variants": old["variants"]})
             except (OSError, ValueError):
                 pass
         out = {"schema": BENCH_SCHEMA, "name": name,
+               "run_index": run_index,
                "variants": doc.get("variants") or {},
                "history": history[-HISTORY_LIMIT:]}
         atomic_write_json(path, out)
         log.info(f"baseline updated: {path}")
+
+
+def _explain_workloads() -> Dict[str, object]:
+    """Benchmarks ``--explain`` can recompile for a cycle-attribution
+    waterfall: bench name -> zero-arg C-source maker.  Imported lazily
+    so the gate itself stays stdlib-only."""
+    from repro.workloads import blas, stencils
+    return {
+        "e1_backsolve": lambda: stencils.backsolve(512),
+        "e2_daxpy": lambda: blas.caller_program(n=2048),
+    }
+
+
+def explain_failures(records: List[dict], baselines: Dict[str, dict],
+                     current: Dict[str, dict], explain_dir: str,
+                     log: "Logger" = None) -> List[str]:
+    """Self-diagnose a red gate: for every regressed bench, write a
+    ``titancc-reportdiff/1`` baseline-vs-current diff, plus a
+    ``titancc-attrib/1`` per-pass cycle waterfall for benches whose
+    workload is registered.  Returns the paths written."""
+    log = log or Logger("regress")
+    try:
+        from repro.obs import diff as obs_diff
+        from repro.obs import schemas as obs_schemas
+        from repro.obs.attrib import CycleAttributor
+        from repro.pipeline import CompilerOptions, compile_c
+    except ImportError as exc:  # pragma: no cover — src/ tree absent
+        log.warning(f"--explain unavailable (repro not importable): "
+                    f"{exc}")
+        return []
+    failed = sorted({record["bench"] for record in records
+                     if record["kind"] in ("regression", "missing")
+                     and record.get("bench")})
+    if not failed:
+        return []
+    os.makedirs(explain_dir, exist_ok=True)
+    workloads = _explain_workloads()
+    written: List[str] = []
+    for name in failed:
+        base_doc = baselines.get(name)
+        cur_doc = current.get(name)
+        if base_doc is not None and cur_doc is not None:
+            doc = obs_diff.diff_benches(
+                base_doc, cur_doc, base_name=f"baseline/{name}",
+                other_name=f"current/{name}")
+            path = os.path.join(explain_dir,
+                                f"explain_{name}.diff.json")
+            obs_schemas.write_json_artifact(path, doc)
+            written.append(path)
+            worst = doc["summary"].get("worst_regression")
+            log.info(f"explain: wrote {path}"
+                     + (f" (worst: {worst})" if worst else ""))
+        maker = workloads.get(name)
+        if maker is not None:
+            attributor = CycleAttributor(source=name)
+            compile_c(maker(), CompilerOptions(),
+                      hooks=[attributor])
+            path = os.path.join(explain_dir,
+                                f"explain_{name}.attrib.json")
+            attributor.write(path)
+            written.append(path)
+            log.info(f"explain: wrote {path}")
+    return written
 
 
 def main(argv: List[str] = None) -> int:
@@ -257,6 +378,13 @@ def main(argv: List[str] = None) -> int:
     parser.add_argument("--update", action="store_true",
                         help="rewrite baselines from the current run "
                              "(previous metrics kept in history)")
+    parser.add_argument("--explain", action="store_true",
+                        help="on gate failure, write reportdiff + "
+                             "attribution artifacts per regressed "
+                             "bench (see --explain-dir)")
+    parser.add_argument("--explain-dir", default=None,
+                        help="where --explain artifacts land "
+                             "(default: <current>/explain)")
     parser.add_argument("--quiet", action="store_true",
                         help="suppress info lines (improvements, "
                              "ungated host-metric drift)")
@@ -287,8 +415,13 @@ def main(argv: List[str] = None) -> int:
                       f"run with --update to create them")
         return 2
 
-    regressions = compare(baselines, current, args.tolerance,
-                          log=log_out)
+    records = compare_structured(baselines, current, args.tolerance)
+    regressions = []
+    for record in records:
+        if record["kind"] in ("regression", "missing"):
+            regressions.append(record["line"])
+        else:
+            log_out.info(record["line"])
     checked = sum(1 for doc in baselines.values()
                   for _ in iter_metrics(doc))
     if regressions:
@@ -296,6 +429,11 @@ def main(argv: List[str] = None) -> int:
                       f"{checked} checked metric(s):")
         for line in regressions:
             log_err.error(f"  FAIL {line}")
+        if args.explain:
+            explain_dir = args.explain_dir or os.path.join(
+                current_dir, "explain")
+            explain_failures(records, baselines, current,
+                             explain_dir, log=log_err)
         return 1
     log_out.info(f"OK — {checked} metric(s) within "
                  f"{args.tolerance * 100:.0f}% of baseline")

@@ -30,6 +30,7 @@ from .il.printer import format_program
 from .inline.database import InlineDatabase
 from .interp import ENGINES
 from .obs import schemas, telemetry
+from .obs.log import Logger
 from .obs.metrics import MetricsRegistry, SpanMetricsConsumer
 from .obs.report import CompilationReport, metrics_from_result
 from .obs.telemetry import EventLogWriter, SpanHook
@@ -136,6 +137,21 @@ def build_arg_parser() -> argparse.ArgumentParser:
                         help="write the bisection verdict (schema "
                              "titancc-bisect/1) as JSON; implies "
                              "--bisect")
+    parser.add_argument("--attrib", action="store_true",
+                        help="print the per-pass cycle-attribution "
+                             "waterfall (static Titan estimate after "
+                             "every pass) to stderr")
+    parser.add_argument("--attrib-json", metavar="PATH",
+                        help="write the attribution waterfall as "
+                             "schema titancc-attrib/1 JSON ('-' for "
+                             "stdout); implies the attribution hook")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress informational diagnostics "
+                             "(wrote-file notices); warnings and "
+                             "errors still print")
+    parser.add_argument("--log-json", action="store_true",
+                        help="emit diagnostics as JSONL (schema "
+                             "titancc-events/1) instead of text")
     return parser
 
 
@@ -162,6 +178,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
     if args.profile and not args.run:
         parser.error("--profile requires --run ENTRY")
+    # Structured diagnostics: notices/warnings/errors go through the
+    # logger (stderr; --log-json switches to JSONL, --quiet drops
+    # info).  Artifact streams — the IL listing, dumps, reports — stay
+    # plain prints.
+    log = Logger("titancc", json_mode=args.log_json, quiet=args.quiet)
     with open(args.source) as handle:
         source = handle.read()
 
@@ -170,8 +191,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         db = InlineDatabase()
         db.add_program(program)
         db.save(args.make_db)
-        print(f"wrote {len(db.names())} procedures to {args.make_db}: "
-              f"{', '.join(db.names())}")
+        # The procedure listing doubles as scriptable output, so this
+        # one diagnostic logs to stdout.
+        Logger("titancc", stream=sys.stdout,
+               json_mode=args.log_json).info(
+            f"wrote {len(db.names())} procedures to {args.make_db}: "
+            f"{', '.join(db.names())}")
         return 0
 
     database: Optional[InlineDatabase] = None
@@ -182,9 +207,9 @@ def main(argv: Optional[List[str]] = None) -> int:
             loaded = InlineDatabase.load(path)
             for name in loaded.entries:
                 if name in origin:
-                    print(f"titancc: warning: procedure '{name}' in "
-                          f"{path} overrides the definition from "
-                          f"{origin[name]}", file=sys.stderr)
+                    log.warning(
+                        f"procedure '{name}' in {path} overrides "
+                        f"the definition from {origin[name]}")
                 origin[name] = path
             database.entries.update(loaded.entries)
 
@@ -199,8 +224,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         if args.bisect_json:
             schemas.atomic_write_text(args.bisect_json,
                                       verdict.to_json() + "\n")
-            print(f"titancc: wrote bisection verdict to "
-                  f"{args.bisect_json}", file=sys.stderr)
+            log.info(f"wrote bisection verdict to "
+                     f"{args.bisect_json}")
         return 0 if verdict.status == "clean" else 1
 
     checker = None
@@ -227,12 +252,24 @@ def main(argv: Optional[List[str]] = None) -> int:
     if checker is not None:
         hooks.append(checker)
 
+    # Cycle attribution rides the same hook seam; without the flags no
+    # hook is installed and the pipeline stays observation-free.
+    attributor = None
+    if args.attrib or args.attrib_json:
+        from .obs.attrib import CycleAttributor
+        attributor = CycleAttributor(
+            config=TitanConfig(processors=args.processors,
+                               max_vector_length=args.vector_length),
+            source=args.source)
+        hooks.append(attributor)
+
     compiler = TitanCompiler(options_from_args(args), database,
                              hooks=tuple(hooks))
     try:
         with telemetry.session(*consumers):
             return _compile_main(args, compiler, source, checker,
-                                 session_registry, event_writer)
+                                 session_registry, event_writer,
+                                 attributor, log)
     finally:
         if event_writer is not None:
             event_writer.close()
@@ -240,14 +277,26 @@ def main(argv: Optional[List[str]] = None) -> int:
 
 def _compile_main(args: argparse.Namespace, compiler: TitanCompiler,
                   source: str, checker,
-                  session_registry, event_writer) -> int:
+                  session_registry, event_writer,
+                  attributor=None, log: Optional[Logger] = None) -> int:
     """The compile → dump → simulate → report path of :func:`main`,
     run inside the telemetry session (if one is active) so engine and
     analysis spans land in the session consumers."""
+    log = log or Logger("titancc", json_mode=args.log_json,
+                        quiet=args.quiet)
     result = compiler.compile(source, args.source)
 
     if checker is not None:
         print(checker.format_table(), file=sys.stderr)
+
+    if attributor is not None:
+        if args.attrib:
+            print(attributor.format_waterfall(), file=sys.stderr)
+        if args.attrib_json:
+            attributor.write(args.attrib_json)
+            if args.attrib_json != schemas.STDOUT:
+                log.info(f"wrote cycle attribution to "
+                         f"{args.attrib_json}")
 
     if args.remarks:
         for remark in result.remarks:
@@ -258,7 +307,8 @@ def _compile_main(args: argparse.Namespace, compiler: TitanCompiler,
     # so the output stays machine-parseable.
     stdout_artifact = schemas.STDOUT in (args.report_json,
                                          args.trace_json,
-                                         args.metrics_prom)
+                                         args.metrics_prom,
+                                         args.attrib_json)
     if args.dump_stages:
         for dump in result.stages:
             print(f"/* ===== stage: {dump.stage} ===== */")
@@ -277,8 +327,8 @@ def _compile_main(args: argparse.Namespace, compiler: TitanCompiler,
                                       graph.to_dot() + "\n")
             doc = {"schema": schemas.DEPGRAPH, **graph.to_json()}
             schemas.write_json_artifact(base + ".json", doc)
-        print(f"titancc: wrote {len(result.dep_graphs)} dependence "
-              f"graph(s) to {args.dump_deps}", file=sys.stderr)
+        log.info(f"wrote {len(result.dep_graphs)} dependence "
+                 f"graph(s) to {args.dump_deps}")
 
     config = TitanConfig(processors=args.processors,
                          max_vector_length=args.vector_length)
@@ -312,14 +362,14 @@ def _compile_main(args: argparse.Namespace, compiler: TitanCompiler,
     if args.report_json:
         report.write(args.report_json)
         if args.report_json != schemas.STDOUT:
-            print(f"titancc: wrote compilation report to "
-                  f"{args.report_json}", file=sys.stderr)
+            log.info(f"wrote compilation report to "
+                     f"{args.report_json}")
 
     if args.trace_json:
         result.trace.write(args.trace_json)
         if args.trace_json != schemas.STDOUT:
-            print(f"titancc: wrote phase trace to {args.trace_json} "
-                  f"(open in chrome://tracing)", file=sys.stderr)
+            log.info(f"wrote phase trace to {args.trace_json} "
+                     f"(open in chrome://tracing)")
 
     if session_registry is not None:
         # Fold the pass-counter and loop-coverage families in next to
@@ -335,13 +385,12 @@ def _compile_main(args: argparse.Namespace, compiler: TitanCompiler,
                 args.metrics_prom,
                 session_registry.format_prometheus())
             if args.metrics_prom != schemas.STDOUT:
-                print(f"titancc: wrote Prometheus metrics to "
-                      f"{args.metrics_prom}", file=sys.stderr)
+                log.info(f"wrote Prometheus metrics to "
+                         f"{args.metrics_prom}")
 
     if checker is not None and checker.first_divergence() is not None:
         divergence = checker.first_divergence()
-        print(f"titancc: pass check FAILED at {divergence.label}",
-              file=sys.stderr)
+        log.error(f"pass check FAILED at {divergence.label}")
         return 1
     return 0
 

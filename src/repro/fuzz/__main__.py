@@ -45,7 +45,7 @@ from ..obs.trace import jsonable
 from .generator import GeneratorOptions
 from .harness import (DifferentialResult, fuzz, fuzz_parallel,
                       option_points, run_source)
-from .reduce import reduce_result
+from .reduce import ReduceStats, reduce_result
 
 
 def build_arg_parser() -> argparse.ArgumentParser:
@@ -185,20 +185,35 @@ def main(argv: Optional[List[str]] = None) -> int:
         summary["jobs"] = args.jobs
         if workers is not None:
             summary["workers"] = workers
-        summary["metrics"] = metrics.to_dict()
         summary["reproducers"] = []
         summary["bisections"] = []
+        summary["reductions"] = []
         for failure in report.failures:
             source = failure.source
             if not args.no_reduce:
                 # Bisection off inside the reducer: every candidate
-                # re-test only needs the failure signature.
-                minimized = reduce_result(
-                    failure,
-                    lambda text: run_source(text, points=points,
-                                            max_steps=args.max_steps,
-                                            engine=args.engine,
-                                            bisect_failures=False))
+                # re-test only needs the failure signature.  The span
+                # and summary entry carry only deterministic counts,
+                # keeping the --jobs summary byte-identical to a
+                # sequential run.
+                stats = ReduceStats()
+                with telemetry.span("reduce", cat="fuzz",
+                                    name=failure.name) as targs:
+                    minimized = reduce_result(
+                        failure,
+                        lambda text: run_source(
+                            text, points=points,
+                            max_steps=args.max_steps,
+                            engine=args.engine,
+                            bisect_failures=False),
+                        stats=stats, registry=metrics)
+                    targs.update(stats.to_dict())
+                summary["reductions"].append(
+                    {"name": failure.name, **stats.to_dict()})
+                log.info("reduced", name=failure.name,
+                         lines_before=stats.lines_before,
+                         lines_after=stats.lines_after,
+                         oracle_runs=stats.oracle_runs)
                 if minimized is not None:
                     source = minimized
             path = os.path.join(args.out, f"repro_{failure.name}.c")
@@ -220,6 +235,10 @@ def main(argv: Optional[List[str]] = None) -> int:
                 log.info("wrote bisection", path=bisect_path,
                          status=culprit["status"],
                          guilty_pass=culprit["guilty_pass"] or "n/a")
+        # Serialized after reduction so the titancc_reduce_* families
+        # are in the snapshot; reduce counts are deterministic, so
+        # --jobs N summaries stay byte-identical to sequential runs.
+        summary["metrics"] = metrics.to_dict()
         schemas.write_json_artifact(
             os.path.join(args.out, "summary.json"), jsonable(summary))
         if writer is not None:

@@ -15,50 +15,113 @@ of diverging) and are thrown away, which keeps the implementation an
 order of magnitude simpler than a grammar-aware reducer at the cost of
 some wasted compile attempts — the right trade for reproducers that
 are a few dozen lines long.
+
+Instrumentation: a :class:`ReduceStats` records the work done (rounds,
+chunk deletions tried/kept, oracle invocations, line counts), the same
+counts land as ``titancc_reduce_*`` metric families when a registry is
+passed, and the whole reduction runs under a global-telemetry span —
+all deterministic counts (no wall times), so the parallel fuzz
+summary's byte-determinism is untouched.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Callable, List, Optional
+
+from ..obs import telemetry
+from ..obs.metrics import MetricsRegistry
+
+
+@dataclass
+class ReduceStats:
+    """Deterministic work counts of one reduction."""
+
+    rounds: int = 0
+    chunks_tried: int = 0
+    chunks_kept: int = 0
+    oracle_runs: int = 0
+    lines_before: int = 0
+    lines_after: int = 0
+
+    def to_dict(self) -> dict:
+        return {"rounds": self.rounds,
+                "chunks_tried": self.chunks_tried,
+                "chunks_kept": self.chunks_kept,
+                "oracle_runs": self.oracle_runs,
+                "lines_before": self.lines_before,
+                "lines_after": self.lines_after}
+
+    def record(self, registry: MetricsRegistry) -> None:
+        registry.counter("titancc_reduce_rounds_total").inc(
+            self.rounds)
+        registry.counter("titancc_reduce_chunks_total",
+                         {"outcome": "kept"}).inc(self.chunks_kept)
+        registry.counter("titancc_reduce_chunks_total",
+                         {"outcome": "rejected"}).inc(
+            self.chunks_tried - self.chunks_kept)
+        registry.counter("titancc_reduce_oracle_runs_total").inc(
+            self.oracle_runs)
+        registry.counter("titancc_reduce_lines_removed_total").inc(
+            max(0, self.lines_before - self.lines_after))
 
 
 def reduce_source(source: str,
                   still_fails: Callable[[str], bool],
-                  max_rounds: int = 12) -> str:
+                  max_rounds: int = 12,
+                  stats: Optional[ReduceStats] = None,
+                  registry: Optional[MetricsRegistry] = None) -> str:
     """Shrink ``source`` while ``still_fails`` stays true.
 
     ``still_fails(source)`` must be true on entry; the return value is
-    the smallest variant found (possibly the input itself).
+    the smallest variant found (possibly the input itself).  ``stats``
+    (filled in place) and ``registry`` (``titancc_reduce_*`` families)
+    both observe the same deterministic counts.
     """
-    if not still_fails(source):
-        raise ValueError("reduce_source: the input does not satisfy "
-                         "the failure predicate")
-    lines = source.splitlines()
-    for _ in range(max_rounds):
-        lines, changed = _one_round(lines, still_fails)
-        if not changed:
-            break
-    text = "\n".join(lines)
-    squeezed = _squeeze_blank_lines(text)
-    if squeezed != text and still_fails(squeezed):
-        text = squeezed
-    if not text.endswith("\n"):
-        text += "\n"
+    stats = stats if stats is not None else ReduceStats()
+
+    def oracle(text: str) -> bool:
+        stats.oracle_runs += 1
+        return still_fails(text)
+
+    with telemetry.span("reduce", cat="fuzz") as targs:
+        if not oracle(source):
+            raise ValueError("reduce_source: the input does not "
+                             "satisfy the failure predicate")
+        lines = source.splitlines()
+        stats.lines_before = len(lines)
+        for _ in range(max_rounds):
+            lines, changed = _one_round(lines, oracle, stats)
+            stats.rounds += 1
+            if not changed:
+                break
+        text = "\n".join(lines)
+        squeezed = _squeeze_blank_lines(text)
+        if squeezed != text and oracle(squeezed):
+            text = squeezed
+        if not text.endswith("\n"):
+            text += "\n"
+        stats.lines_after = len(text.splitlines())
+        targs.update(stats.to_dict())
+    if registry is not None:
+        stats.record(registry)
     return text
 
 
 def _one_round(lines: List[str],
-               still_fails: Callable[[str], bool]
-               ) -> (List[str], bool):
+               still_fails: Callable[[str], bool],
+               stats: ReduceStats) -> (List[str], bool):
     changed = False
     chunk = max(1, len(lines) // 2)
     while chunk >= 1:
         start = 0
         while start < len(lines):
             candidate = lines[:start] + lines[start + chunk:]
+            stats.chunks_tried += 1
             if candidate and still_fails("\n".join(candidate)):
                 lines = candidate
                 changed = True
+                stats.chunks_kept += 1
                 # Do not advance: the next chunk slid into this slot.
             else:
                 start += chunk
@@ -76,7 +139,10 @@ def _squeeze_blank_lines(text: str) -> str:
 
 
 def reduce_result(result, run,
-                  max_rounds: int = 12) -> Optional[str]:
+                  max_rounds: int = 12,
+                  stats: Optional[ReduceStats] = None,
+                  registry: Optional[MetricsRegistry] = None
+                  ) -> Optional[str]:
     """Reduce a failing :class:`DifferentialResult`.
 
     ``run`` is a callable ``source -> DifferentialResult`` (typically
@@ -94,4 +160,5 @@ def reduce_result(result, run,
     if not still_fails(result.source):
         return None
     return reduce_source(result.source, still_fails,
-                         max_rounds=max_rounds)
+                         max_rounds=max_rounds, stats=stats,
+                         registry=registry)

@@ -10,7 +10,11 @@ telemetry artifacts a session directory holds:
 * ``summary.json`` (``titancc-fuzz/1``) — outcome counts, per-worker
   throughput, and the merged metrics block;
 * ``BENCH_*.json`` (``titancc-bench/1``) — engine-speedup trends from
-  each baseline's bounded ``history`` list.
+  each baseline's bounded ``history`` list, plus the trend/anomaly
+  panel (:mod:`repro.obs.history` outlier + changepoint detection);
+* ``*.attrib.json`` / any ``titancc-attrib/1`` document (from
+  ``--attrib-json`` or ``regress.py --explain``) — per-pass cycle
+  attribution waterfalls.
 
 Every chart keeps a table twin (the colors are never the only
 channel), values are direct-labeled, and SVG ``<title>`` elements give
@@ -27,6 +31,7 @@ import os
 import sys
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from . import history as bench_history
 from . import schemas
 from .metrics import MetricsRegistry
 
@@ -62,6 +67,7 @@ class SessionData:
         self.summary: Optional[dict] = None
         self.metrics = MetricsRegistry()
         self.benches: List[dict] = []
+        self.attribs: List[dict] = []
         self._load()
 
     def _load(self) -> None:
@@ -104,6 +110,22 @@ class SessionData:
                 continue
             if doc.get("schema") == schemas.BENCH:
                 self.benches.append(doc)
+        # Attribution waterfalls: any titancc-attrib/1 document in the
+        # session dir or its explain/ subdir (regress.py --explain).
+        for pattern in (os.path.join(self.directory, "*.json"),
+                        os.path.join(self.directory, "explain",
+                                     "*.json")):
+            for path in sorted(glob.glob(pattern)):
+                if os.path.basename(path).startswith("BENCH_"):
+                    continue
+                try:
+                    with open(path) as handle:
+                        doc = json.load(handle)
+                except (OSError, ValueError):
+                    continue
+                if isinstance(doc, dict) \
+                        and doc.get("schema") == schemas.ATTRIB:
+                    self.attribs.append(doc)
 
     # -- derived views -------------------------------------------------
 
@@ -193,6 +215,20 @@ class SessionData:
                             (f"{doc.get('name')}/{variant}/{metric}",
                              series))
         return trends
+
+    def attribution_waterfalls(self) -> List[Tuple[str, List[dict],
+                                                   dict]]:
+        """``(source, waterfall rows, totals)`` per attrib doc."""
+        out = []
+        for doc in self.attribs:
+            out.append((str(doc.get("source", "?")),
+                        list(doc.get("waterfall") or ()),
+                        dict(doc.get("totals") or {})))
+        return out
+
+    def bench_anomalies(self) -> List[dict]:
+        """Outliers + changepoints over every bench history series."""
+        return bench_history.analyze_docs(self.benches)["anomalies"]
 
 
 # ---------------------------------------------------------------------------
@@ -319,6 +355,41 @@ def _trend_chart(label: str, series: Sequence[float]) -> str:
         f"class='val'>{_fmt(series[-1])}x</text></svg></div>")
 
 
+def _waterfall_chart(rows: Sequence[Tuple[str, float, str]]) -> str:
+    """Diverging horizontal bars around a zero baseline: cycle savings
+    (negative deltas) grow left in slot 3, cost increases grow right
+    in slot 2."""
+    if not rows:
+        return "<p class='empty'>no data</p>"
+    peak = max(abs(value) for _, value, _ in rows) or 1.0
+    height = len(rows) * (BAR_H + BAR_GAP) + BAR_GAP
+    plot_w = CHART_W - LABEL_W - VALUE_W
+    zero_x = LABEL_W + plot_w / 2.0
+    parts = [f"<svg role='img' width='{CHART_W}' height='{height}' "
+             f"viewBox='0 0 {CHART_W} {height}'>",
+             f"<line x1='{zero_x:.1f}' y1='0' x2='{zero_x:.1f}' "
+             f"y2='{height}' class='axis'/>"]
+    for index, (label, value, tip) in enumerate(rows):
+        y = BAR_GAP + index * (BAR_H + BAR_GAP)
+        width = max(2.0, (plot_w / 2.0) * abs(value) / peak)
+        slot = "s2" if value > 0 else "s3"
+        x = zero_x if value > 0 else zero_x - width
+        text_x = zero_x + width + 6 if value > 0 \
+            else zero_x - width - 6
+        anchor = "start" if value > 0 else "end"
+        parts.append(
+            f"<g><title>{_esc(tip)}</title>"
+            f"<text x='{LABEL_W - 8}' y='{y + BAR_H - 5}' "
+            f"text-anchor='end' class='lbl'>{_esc(label)}</text>"
+            f"<rect x='{x:.1f}' y='{y}' width='{width:.1f}' "
+            f"height='{BAR_H}' rx='4' class='seg {slot}'/>"
+            f"<text x='{text_x:.1f}' y='{y + BAR_H - 5}' "
+            f"text-anchor='{anchor}' class='val'>"
+            f"{value:+,.0f}</text></g>")
+    parts.append("</svg>")
+    return "".join(parts)
+
+
 def _table(headers: Sequence[str],
            rows: Sequence[Sequence[object]]) -> str:
     head = "".join(f"<th>{_esc(h)}</th>" for h in headers)
@@ -375,6 +446,7 @@ svg .lbl {{ fill: var(--muted); }}
 svg .val {{ fill: var(--text); }}
 .bar, .seg.s1 {{ fill: var(--s1); }}
 .seg.s2 {{ fill: var(--s2); }} .seg.s3 {{ fill: var(--s3); }}
+.axis {{ stroke: var(--grid); stroke-width: 1; }}
 .line {{ fill: none; stroke: var(--s1); stroke-width: 2;
   stroke-linejoin: round; stroke-linecap: round; }}
 .dot {{ fill: var(--s1); }} .dot-ring {{ fill: var(--surface); }}
@@ -503,6 +575,67 @@ def render(data: SessionData) -> str:
                      [(label, len(series), f"{_fmt(series[-1])}x")
                       for label, series in trends])
             + "</details>")
+
+    # Per-pass cycle-attribution waterfalls.  Entries are read with
+    # defaults so a partial/hand-edited document renders instead of
+    # raising.
+    waterfalls = data.attribution_waterfalls()
+    for source, rows, totals in waterfalls:
+        chart_rows = []
+        table_rows = []
+        for entry in rows:
+            name = str(entry.get("pass", "?"))
+            delta = float(entry.get("delta") or 0.0)
+            after = float(entry.get("cycles_after") or 0.0)
+            events = entry.get("events", 0)
+            table_rows.append((name, events, f"{delta:+,.1f}",
+                               f"{after:,.1f}"))
+            if name != "front-end":
+                chart_rows.append(
+                    (name, delta,
+                     f"{name}: {delta:+,.1f} estimated cycles over "
+                     f"{events} event(s), {after:,.1f} after"))
+        o0 = float(totals.get("o0_cycles") or 0.0)
+        final = float(totals.get("final_cycles") or 0.0)
+        sections.append(
+            f"<h2>Cycle attribution — {_esc(source)}</h2>"
+            f"<p class='sub'>static Titan estimate: "
+            f"{o0:,.1f} cycles at O0 &rarr; {final:,.1f} final "
+            f"({float(totals.get('delta') or 0.0):+,.1f}); per-pass "
+            f"deltas sum exactly: "
+            f"{'yes' if totals.get('exact') else 'NO'}</p>"
+            + _legend([("cycles saved", 3), ("cycles added", 2)])
+            + _waterfall_chart(chart_rows)
+            + "<details><summary>table</summary>"
+            + _table(("pass", "events", "delta", "cycles after"),
+                     table_rows)
+            + "</details>")
+
+    # Benchmark history anomalies.
+    anomalies = data.bench_anomalies()
+    if anomalies:
+        rows = []
+        for a in anomalies:
+            where = f"{a['bench']}/{a['variant']}/{a['metric']}"
+            if a["kind"] == "outlier":
+                detail = (f"{_fmt(a['value'])} vs median "
+                          f"{_fmt(a['median'])} (z={a['score']:+.1f})")
+            else:
+                detail = (f"mean {_fmt(a['before_mean'])} -> "
+                          f"{_fmt(a['after_mean'])} "
+                          f"({a['relative_shift']:+.0%})")
+            rows.append((a["kind"], where, a["run_index"], detail))
+        sections.append(
+            "<h2>Benchmark anomalies</h2>"
+            "<p class='sub'>outliers (modified z-score) and "
+            "changepoints (mean shift) over the committed bench "
+            "history</p>"
+            + _table(("kind", "series", "run", "detail"), rows))
+    elif data.benches:
+        sections.append(
+            "<h2>Benchmark anomalies</h2>"
+            "<p class='empty'>no anomalies in "
+            f"{len(data.benches)} bench history file(s)</p>")
 
     if not sections:
         sections.append("<p class='empty'>No telemetry artifacts "

@@ -1,0 +1,257 @@
+"""Benchmark-history forensics: trends, outliers, changepoints.
+
+``regress.py --update`` keeps a bounded ``history`` list inside every
+``benchmarks/baselines/BENCH_*.json`` — each entry a full ``variants``
+snapshot stamped with a monotonically increasing ``run_index``.  This
+module turns those lists into per-metric series and flags the two
+things a maintainer actually wants surfaced:
+
+* **outliers** — single runs far from the series median (modified
+  z-score on the median absolute deviation, the standard robust test
+  for small samples: |0.6745·(x−median)/MAD| > 3.5);
+* **changepoints** — a sustained level shift: the split of the series
+  into two segments (each ≥ 3 points) that minimizes within-segment
+  variance, reported when the means differ by more than 25%.
+
+Everything is pure arithmetic on the committed JSON — deterministic,
+no wall-clock, no dependencies — so the dashboard's anomaly panel and
+the CLI (``python -m repro.obs.history DIR [--json]``) give identical
+answers in CI and locally.
+"""
+
+from __future__ import annotations
+
+import argparse
+import glob
+import json
+import os
+from typing import Dict, List, Optional, Tuple
+
+from . import schemas
+
+#: Modified z-score threshold (Iglewicz & Hoaglin's recommended 3.5).
+OUTLIER_THRESHOLD = 3.5
+#: Minimum series length before outlier detection is attempted.
+MIN_POINTS = 5
+#: Minimum points on each side of a changepoint split.
+MIN_SEGMENT = 3
+#: Relative mean shift below which a split is not a changepoint.
+CHANGEPOINT_MIN_SHIFT = 0.25
+
+
+# ---------------------------------------------------------------------------
+# Series extraction
+# ---------------------------------------------------------------------------
+
+
+def series_from_doc(doc: dict) -> Dict[Tuple[str, str],
+                                       List[Tuple[int, float]]]:
+    """Per-(variant, metric) series of ``(run_index, value)`` points:
+    every ``history`` snapshot in order, then the current ``variants``
+    as the newest point.  Entries without a ``run_index`` stamp (from
+    before stamping existed) get positional indices."""
+    series: Dict[Tuple[str, str], List[Tuple[int, float]]] = {}
+    snapshots: List[Tuple[int, dict]] = []
+    for position, entry in enumerate(doc.get("history") or []):
+        run_index = entry.get("run_index", position)
+        snapshots.append((run_index, entry.get("variants") or {}))
+    current_index = doc.get(
+        "run_index", (snapshots[-1][0] + 1) if snapshots else 0)
+    snapshots.append((current_index, doc.get("variants") or {}))
+    for run_index, variants in snapshots:
+        for variant, metrics in sorted(variants.items()):
+            for metric, value in sorted((metrics or {}).items()):
+                if isinstance(value, (int, float)) \
+                        and not isinstance(value, bool):
+                    series.setdefault((variant, metric), []).append(
+                        (run_index, float(value)))
+    return series
+
+
+# ---------------------------------------------------------------------------
+# Detection primitives
+# ---------------------------------------------------------------------------
+
+
+def _median(values: List[float]) -> float:
+    ordered = sorted(values)
+    n = len(ordered)
+    mid = n // 2
+    if n % 2:
+        return ordered[mid]
+    return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+
+def outliers(points: List[Tuple[int, float]],
+             threshold: float = OUTLIER_THRESHOLD
+             ) -> List[Dict[str, float]]:
+    """Modified z-score outliers; empty when the series is too short
+    or has zero spread.  When the MAD is zero but the series is not
+    constant (e.g. one spike over an otherwise flat history — the
+    common benchmark case), the mean absolute deviation takes over,
+    per Iglewicz & Hoaglin's recommendation."""
+    if len(points) < MIN_POINTS:
+        return []
+    values = [value for _, value in points]
+    med = _median(values)
+    deviations = [abs(value - med) for value in values]
+    mad = _median(deviations)
+    if mad:
+        def score_of(value: float) -> float:
+            return 0.6745 * (value - med) / mad
+    else:
+        mean_ad = sum(deviations) / len(deviations)
+        if mean_ad == 0:
+            return []  # genuinely constant series
+
+        def score_of(value: float) -> float:
+            return (value - med) / (1.253314 * mean_ad)
+    found: List[Dict[str, float]] = []
+    for run_index, value in points:
+        score = score_of(value)
+        if abs(score) > threshold:
+            found.append({"run_index": run_index, "value": value,
+                          "median": med, "score": score})
+    return found
+
+
+def changepoint(points: List[Tuple[int, float]],
+                min_shift: float = CHANGEPOINT_MIN_SHIFT
+                ) -> Optional[Dict[str, float]]:
+    """Best single mean-shift split, or ``None`` when no admissible
+    split moves the mean by at least ``min_shift`` relative."""
+    if len(points) < 2 * MIN_SEGMENT:
+        return None
+    values = [value for _, value in points]
+    best: Optional[Tuple[float, int]] = None
+    for split in range(MIN_SEGMENT, len(values) - MIN_SEGMENT + 1):
+        left, right = values[:split], values[split:]
+        mean_l = sum(left) / len(left)
+        mean_r = sum(right) / len(right)
+        sse = sum((v - mean_l) ** 2 for v in left) \
+            + sum((v - mean_r) ** 2 for v in right)
+        if best is None or sse < best[0]:
+            best = (sse, split)
+    if best is None:
+        return None
+    split = best[1]
+    left, right = values[:split], values[split:]
+    mean_l = sum(left) / len(left)
+    mean_r = sum(right) / len(right)
+    denominator = max(abs(mean_l), abs(mean_r), 1e-12)
+    shift = (mean_r - mean_l) / denominator
+    if abs(shift) < min_shift:
+        return None
+    return {"run_index": points[split][0], "before_mean": mean_l,
+            "after_mean": mean_r, "relative_shift": shift}
+
+
+# ---------------------------------------------------------------------------
+# Document / directory analysis
+# ---------------------------------------------------------------------------
+
+
+def analyze_doc(doc: dict) -> dict:
+    """Trends and anomalies of one ``titancc-bench/1`` document."""
+    name = doc.get("name", "?")
+    trends: List[dict] = []
+    anomalies: List[dict] = []
+    for (variant, metric), points in sorted(
+            series_from_doc(doc).items()):
+        values = [value for _, value in points]
+        trend = {"bench": name, "variant": variant, "metric": metric,
+                 "points": len(points),
+                 "first": values[0], "last": values[-1],
+                 "min": min(values), "max": max(values)}
+        trends.append(trend)
+        for outlier in outliers(points):
+            anomalies.append({"bench": name, "variant": variant,
+                              "metric": metric, "kind": "outlier",
+                              **outlier})
+        shift = changepoint(points)
+        if shift is not None:
+            anomalies.append({"bench": name, "variant": variant,
+                              "metric": metric, "kind": "changepoint",
+                              **shift})
+    return {"name": name, "trends": trends, "anomalies": anomalies}
+
+
+def analyze_docs(docs: List[dict]) -> dict:
+    results = [analyze_doc(doc) for doc in docs]
+    return {
+        "benches": results,
+        "anomalies": [anomaly for result in results
+                      for anomaly in result["anomalies"]],
+    }
+
+
+def load_bench_docs(directory: str) -> List[dict]:
+    """Every valid ``titancc-bench/1`` document under ``directory``
+    (non-bench and malformed JSON files are skipped silently — the
+    dashboard must render partial session dirs)."""
+    docs: List[dict] = []
+    for path in sorted(glob.glob(os.path.join(directory,
+                                              "BENCH_*.json"))):
+        try:
+            with open(path) as handle:
+                doc = json.load(handle)
+        except (OSError, ValueError):
+            continue
+        if isinstance(doc, dict) and doc.get("schema") == schemas.BENCH:
+            docs.append(doc)
+    return docs
+
+
+def analyze_dir(directory: str) -> dict:
+    return analyze_docs(load_bench_docs(directory))
+
+
+def format_analysis(analysis: dict) -> str:
+    lines = ["/* benchmark history analysis */"]
+    for bench in analysis["benches"]:
+        for trend in bench["trends"]:
+            lines.append(
+                f"   {trend['bench']}.{trend['variant']}"
+                f".{trend['metric']}: {trend['points']} point(s), "
+                f"{trend['first']:g} -> {trend['last']:g}")
+    if analysis["anomalies"]:
+        lines.append(f"/* {len(analysis['anomalies'])} anomaly(ies) */")
+        for a in analysis["anomalies"]:
+            if a["kind"] == "outlier":
+                lines.append(
+                    f" ! outlier {a['bench']}.{a['variant']}"
+                    f".{a['metric']} @run {a['run_index']}: "
+                    f"{a['value']:g} (median {a['median']:g}, "
+                    f"z={a['score']:+.1f})")
+            else:
+                lines.append(
+                    f" ! changepoint {a['bench']}.{a['variant']}"
+                    f".{a['metric']} @run {a['run_index']}: mean "
+                    f"{a['before_mean']:g} -> {a['after_mean']:g} "
+                    f"({a['relative_shift']:+.0%})")
+    else:
+        lines.append("/* no anomalies */")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.history",
+        description="Trend/anomaly analysis of BENCH_*.json history.")
+    parser.add_argument("directory",
+                        help="directory holding BENCH_*.json files "
+                             "(e.g. benchmarks/baselines)")
+    parser.add_argument("--json", action="store_true",
+                        help="emit the analysis as JSON on stdout")
+    args = parser.parse_args(argv)
+    analysis = analyze_dir(args.directory)
+    if args.json:
+        print(json.dumps(analysis, indent=1, sort_keys=True))
+    else:
+        print(format_analysis(analysis))
+    return 0
+
+
+if __name__ == "__main__":
+    import sys
+    sys.exit(main())

@@ -45,6 +45,11 @@ EVENTS = "titancc-events/1"
 TRACE = "titancc-trace/1"
 #: Per-loop dependence-graph exports (``--dump-deps`` ``.json`` files).
 DEPGRAPH = "titancc-depgraph/1"
+#: Per-pass cycle-attribution waterfalls (``--attrib-json``).
+ATTRIB = "titancc-attrib/1"
+#: Structured diffs of two reports or two bench documents
+#: (``python -m repro.obs.diff``, ``regress.py --explain``).
+REPORTDIFF = "titancc-reportdiff/1"
 
 #: tag -> (description, required top-level keys).  ``validate_document``
 #: checks the keys; producers and the schema test iterate the registry.
@@ -61,6 +66,12 @@ REGISTERED: Dict[str, Tuple[str, Tuple[str, ...]]] = {
     EVENTS: ("telemetry event", ("schema", "type")),
     TRACE: ("Chrome trace export", ("schema", "traceEvents")),
     DEPGRAPH: ("dependence-graph export", ("schema", "nodes", "edges")),
+    ATTRIB: ("per-pass cycle attribution",
+             ("schema", "source", "steps", "waterfall", "functions",
+              "loops", "totals")),
+    REPORTDIFF: ("report/bench diff",
+                 ("schema", "kind", "base", "other", "classified",
+                  "summary")),
 }
 
 

@@ -117,9 +117,36 @@ class TestSessionData:
         (tmp_path / "events.jsonl").write_text("not json\n\n")
         (tmp_path / "summary.json").write_text("{broken")
         (tmp_path / "BENCH_x.json").write_text('{"schema": "other"}')
+        (tmp_path / "x.attrib.json").write_text("[1,")
         data = SessionData(str(tmp_path))
         assert data.spans == [] and data.summary is None
         assert data.benches == []
+        assert data.attribs == []
+
+    def test_attrib_docs_loaded_from_dir_and_explain(self, tmp_path):
+        doc = {"schema": schemas.ATTRIB, "source": "d.c",
+               "steps": [], "waterfall": [], "functions": {},
+               "loops": [], "totals": {}}
+        (tmp_path / "a.attrib.json").write_text(json.dumps(doc))
+        explain = tmp_path / "explain"
+        explain.mkdir()
+        (explain / "explain_e1.attrib.json").write_text(
+            json.dumps({**doc, "source": "e1"}))
+        data = SessionData(str(tmp_path))
+        assert sorted(d["source"] for d in data.attribs) == \
+            ["d.c", "e1"]
+
+    def test_bench_anomalies_surface_outliers(self, tmp_path):
+        history = [{"run_index": i,
+                    "variants": {"full": {"cycles": 100.0}}}
+                   for i in range(6)]
+        (tmp_path / "BENCH_x.json").write_text(json.dumps({
+            "schema": schemas.BENCH, "name": "x", "run_index": 6,
+            "variants": {"full": {"cycles": 500.0}},  # the outlier
+            "history": history}))
+        anomalies = SessionData(str(tmp_path)).bench_anomalies()
+        assert any(a["kind"] == "outlier"
+                   and a["metric"] == "cycles" for a in anomalies)
 
 
 class TestRender:
@@ -143,6 +170,49 @@ class TestRender:
     def test_empty_session_renders_hint(self, tmp_path):
         html = render(SessionData(str(tmp_path)))
         assert "No telemetry artifacts found" in html
+
+    def test_partial_session_renders_without_raising(self, tmp_path):
+        # Only a truncated event log and a partial attrib doc: every
+        # panel must degrade, not raise.
+        (tmp_path / "events.jsonl").write_text(
+            '{"type": "span", "name": "x"}\nnot json\n')
+        (tmp_path / "p.attrib.json").write_text(json.dumps({
+            "schema": schemas.ATTRIB, "source": "partial",
+            "steps": [], "waterfall": [{"pass": "inline"}],
+            "functions": {}, "loops": [], "totals": {}}))
+        html = render(SessionData(str(tmp_path)))
+        assert "Cycle attribution" in html
+        assert "partial" in html
+
+    def test_waterfall_and_anomaly_panels(self, session):
+        (session / "daxpy.attrib.json").write_text(json.dumps({
+            "schema": schemas.ATTRIB, "source": "daxpy.c",
+            "steps": [],
+            "waterfall": [
+                {"pass": "front-end", "events": 1, "delta": 0.0,
+                 "cycles_after": 1000.0},
+                {"pass": "vectorize", "events": 2, "delta": -700.0,
+                 "cycles_after": 300.0},
+                {"pass": "inline", "events": 1, "delta": 40.0,
+                 "cycles_after": 340.0}],
+            "functions": {}, "loops": [],
+            "totals": {"o0_cycles": 1000.0, "final_cycles": 340.0,
+                       "delta": -660.0, "sum_of_deltas": -660.0,
+                       "exact": True}}))
+        history = [{"run_index": i,
+                    "variants": {"full": {"cycles": 100.0}}}
+                   for i in range(6)]
+        (session / "BENCH_spiky.json").write_text(json.dumps({
+            "schema": schemas.BENCH, "name": "spiky", "run_index": 6,
+            "variants": {"full": {"cycles": 500.0}},
+            "history": history}))
+        html = render(SessionData(str(session)))
+        assert "Cycle attribution — daxpy.c" in html
+        assert "deltas sum exactly: yes" in html
+        assert "Benchmark anomalies" in html
+        assert "spiky/full/cycles" in html
+        # Diverging bars: savings and additions take different slots.
+        assert "class='seg s3'" in html and "class='seg s2'" in html
 
     def test_directory_name_is_escaped(self, tmp_path):
         evil = tmp_path / "a<b>&c"

@@ -238,6 +238,59 @@ class TestRegressGate:
         assert doc["history"][-1]["variants"]["full"]["cycles"] \
             == 100.0
 
+    def test_update_stamps_monotonic_run_index(self, regress,
+                                               tmp_path):
+        """Each accepted snapshot carries run_index = previous + 1 (no
+        wall clock), and a pushed history entry keeps the index it was
+        accepted under — the stable x-axis repro.obs.history needs."""
+        base = tmp_path / "base"
+        cur = tmp_path / "cur"
+        for run, cycles in enumerate((100.0, 90.0, 95.0)):
+            _write_bench(cur, "b", {"full": {"cycles": cycles}})
+            assert regress.main(["--current", str(cur),
+                                 "--baselines", str(base),
+                                 "--update"]) == 0
+            doc = json.loads(open(base / "BENCH_b.json").read())
+            assert doc["run_index"] == run
+        assert [entry["run_index"] for entry in doc["history"]] \
+            == [0, 1]
+
+    def test_explain_writes_diff_and_attrib(self, regress, tmp_path,
+                                            capsys):
+        """A red gate under --explain self-diagnoses: a reportdiff
+        naming the regressed metric, plus an attribution waterfall for
+        benches with a registered workload."""
+        base = tmp_path / "base"
+        cur = tmp_path / "cur"
+        _write_bench(base, "e2_daxpy", {"full": {"cycles": 100.0}})
+        _write_bench(cur, "e2_daxpy", {"full": {"cycles": 200.0}})
+        assert regress.main(["--current", str(cur),
+                             "--baselines", str(base),
+                             "--explain", "--quiet"]) == 1
+        explain = cur / "explain"
+        diff_doc = json.loads(
+            open(explain / "explain_e2_daxpy.diff.json").read())
+        assert diff_doc["schema"] == "titancc-reportdiff/1"
+        assert diff_doc["summary"]["worst_regression"] \
+            == "full.cycles"
+        assert any(entry["metric"] == "full.cycles"
+                   for entry in diff_doc["classified"]["regressions"])
+        attrib_doc = json.loads(
+            open(explain / "explain_e2_daxpy.attrib.json").read())
+        assert attrib_doc["schema"] == "titancc-attrib/1"
+        assert attrib_doc["totals"]["exact"] is True
+
+    def test_explain_without_failure_writes_nothing(self, regress,
+                                                    tmp_path):
+        base = tmp_path / "base"
+        cur = tmp_path / "cur"
+        _write_bench(base, "b", {"full": {"cycles": 100.0}})
+        _write_bench(cur, "b", {"full": {"cycles": 100.0}})
+        assert regress.main(["--current", str(cur),
+                             "--baselines", str(base),
+                             "--explain"]) == 0
+        assert not os.path.exists(cur / "explain")
+
     def test_bad_schema_skipped(self, regress, tmp_path, capsys):
         cur = tmp_path / "cur"
         os.makedirs(cur)
@@ -252,7 +305,7 @@ class TestCommittedBaselines:
 
     def test_baselines_present_and_versioned(self, regress):
         docs = regress.load_benches(regress.BASELINE_DIR)
-        assert len(docs) == 14
+        assert len(docs) == 15
         for name, doc in docs.items():
             assert doc["schema"] == regress.BENCH_SCHEMA
             assert doc["variants"], name
@@ -283,3 +336,14 @@ class TestCommittedBaselines:
         engine = docs["e14_telemetry"]["variants"]["engine"]
         assert engine["enabled_span_records"] == 7.0
         assert engine["host_telemetry_speedup"] > 0.6
+
+    def test_forensics_exactness_recorded(self, regress):
+        # The E15 acceptance criterion: attribution deltas summed
+        # bit-exactly on both flagship workloads, and the attribution
+        # volume is deterministic (gated exactly).
+        docs = regress.load_benches(regress.BASELINE_DIR)
+        attrib = docs["e15_forensics"]["variants"]["attrib"]
+        assert attrib["exact_workloads"] == 2.0
+        assert attrib["attrib_steps_daxpy"] > 0
+        assert attrib["attrib_steps_backsolve"] > 0
+        assert attrib["host_attrib_speedup"] > 0.6

@@ -61,6 +61,18 @@ class TestRegistry:
         with pytest.raises(SchemaError, match="list"):
             validate_document([1, 2])
 
+    def test_every_emitted_kind_is_registered(self):
+        """Completeness: every artifact kind the codebase writes has a
+        registry entry, and each registered kind's skeleton round-trips
+        validate_document.  New producers must register here first."""
+        emitted = {schemas.REPORT, schemas.BENCH, schemas.FUZZ,
+                   schemas.BISECT, schemas.EVENTS, schemas.TRACE,
+                   schemas.DEPGRAPH, schemas.ATTRIB,
+                   schemas.REPORTDIFF}
+        assert emitted == set(REGISTERED)
+        for tag in emitted:
+            assert validate_document(minimal_doc(tag)) == tag
+
 
 class TestAtomicWrites:
     def test_write_creates_parent_dirs(self, tmp_path):
@@ -164,3 +176,31 @@ class TestEmittedArtifacts:
         assert main([prog_file, "--trace-json", "-"]) == 0
         doc = json.loads(capsys.readouterr().out)
         assert validate_document(doc) == schemas.TRACE
+
+    def test_attrib_json_round_trips(self, prog_file, tmp_path):
+        out = tmp_path / "attrib.json"
+        assert main([prog_file, "--attrib-json", str(out)]) == 0
+        doc = json.loads(out.read_text())
+        assert validate_document(doc) == schemas.ATTRIB
+        assert doc["totals"]["exact"] is True
+        assert doc["steps"][0]["pass"] == "front-end"
+
+    def test_attrib_to_stdout_with_dash(self, prog_file, capsys):
+        assert main([prog_file, "--attrib-json", "-"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert validate_document(doc) == schemas.ATTRIB
+
+    def test_reportdiff_round_trips(self, prog_file, tmp_path):
+        a = tmp_path / "a.json"
+        b = tmp_path / "b.json"
+        assert main([prog_file, "--report-json", str(a)]) == 0
+        assert main([prog_file, "--no-vectorize",
+                     "--report-json", str(b)]) == 0
+        from repro.obs.diff import diff_reports
+        doc = diff_reports(json.loads(a.read_text()),
+                           json.loads(b.read_text()))
+        assert validate_document(doc) == schemas.REPORTDIFF
+        out = tmp_path / "diff.json"
+        write_json_artifact(str(out), doc)
+        assert validate_document(
+            json.loads(out.read_text())) == schemas.REPORTDIFF
