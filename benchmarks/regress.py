@@ -308,6 +308,7 @@ def _explain_workloads() -> Dict[str, object]:
     return {
         "e1_backsolve": lambda: stencils.backsolve(512),
         "e2_daxpy": lambda: blas.caller_program(n=2048),
+        "e16_ifconvert": lambda: stencils.guarded_diff(512),
     }
 
 

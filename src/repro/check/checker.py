@@ -40,13 +40,13 @@ def pass_registry() -> Dict[str, str]:
     exports.  This is the vocabulary culprit reports speak."""
     from ..inline import inliner
     from ..opt import (cond_split, constprop, deadcode, fold,
-                       forward_sub, ivsub, regpipe, strength,
-                       unreachable, while_to_do)
+                       forward_sub, if_convert, ivsub, regpipe,
+                       strength, unreachable, while_to_do)
     from ..sched import scheduler
     from ..vectorize import listparallel, vectorizer
     modules = (while_to_do, ivsub, constprop, fold, forward_sub,
-               deadcode, unreachable, cond_split, inliner, vectorizer,
-               listparallel, regpipe, strength, scheduler)
+               deadcode, unreachable, cond_split, if_convert, inliner,
+               vectorizer, listparallel, regpipe, strength, scheduler)
     registry = {"front-end": "front end: preprocess, parse, lower"}
     for module in modules:
         registry[module.PASS_NAME] = module.PASS_DESCRIPTION

@@ -192,13 +192,16 @@ def collect_refs(stmts: Sequence[N.Stmt], loop_vars: Sequence[Symbol],
         elif isinstance(stmt, N.VectorAssign):
             out.append(parse_section_ref(stmt.target, stmt, True,
                                          loop_vars, invariants))
-            for node in N.walk_expr(stmt.value):
-                if isinstance(node, N.Section):
-                    out.append(parse_section_ref(node, stmt, False,
-                                                 loop_vars, invariants))
-                elif isinstance(node, N.Mem):
-                    out.append(parse_ref(node, stmt, False, loop_vars,
-                                         invariants))
+            sources = [stmt.value] if stmt.mask is None \
+                else [stmt.mask, stmt.value]
+            for source in sources:
+                for node in N.walk_expr(source):
+                    if isinstance(node, N.Section):
+                        out.append(parse_section_ref(
+                            node, stmt, False, loop_vars, invariants))
+                    elif isinstance(node, N.Mem):
+                        out.append(parse_ref(node, stmt, False,
+                                             loop_vars, invariants))
         elif isinstance(stmt, N.Assign):
             if isinstance(stmt.target, N.Mem):
                 out.append(parse_ref(stmt.target, stmt, True, loop_vars,

@@ -24,7 +24,9 @@ Well-definedness is by construction, not by filtering:
 
 The generator exercises exactly the constructs the compiler claims to
 transform: counted ``for`` loops (while→DO conversion, vectorization),
-``while``/``do-while`` with ``break``/``continue`` (flow-graph paths),
+guarded loop-body branches (if-conversion into masked/select vector
+statements), ``while``/``do-while`` with ``break``/``continue``
+(flow-graph paths),
 ``?:``/``&&``/``||`` with side effects (the paper's section 4
 rewrites), pointer-bump loops (IV substitution, strength reduction),
 and small helper functions (the inliner).
@@ -203,6 +205,40 @@ class ProgramGenerator:
         return (f"    for (i = {lo}; i < {hi}; i++) {{\n"
                 f"{body}\n    }}")
 
+    def _guarded_for_block(self) -> str:
+        """A counted loop whose body is an if (or if/else) over array
+        assigns with a side-effect-free guard — the branchy shape the
+        if-conversion pass predicates into select merges (and, when an
+        arm calls a helper, its reject paths)."""
+        forms: List[str] = []
+        target = self.rng.choice(ARRAYS)
+        sub = self._subscript(forms)
+        left = self._expr(1, "i", forms, calls_ok=False)
+        right = self._expr(1, "i", forms, calls_ok=False)
+        op = self.rng.choice(["<", ">", "<=", ">=", "==", "!="])
+        cond = f"({left}) {op} ({right})"
+        then_v = self._expr(0, "i", forms)
+        lines: List[str] = []
+        if self.rng.random() < 0.6:
+            # if/else storing to the same element: pairwise-mergeable.
+            else_v = self._expr(0, "i", forms)
+            lines += [f"if ({cond})",
+                      f"    {target}[{sub}] = {then_v};",
+                      "else",
+                      f"    {target}[{sub}] = {else_v};"]
+        else:
+            lines += [f"if ({cond})",
+                      f"    {target}[{sub}] = {then_v};"]
+        if self.rng.random() < 0.4:  # trailing unguarded statement
+            other = self.rng.choice(ARRAYS)
+            sub2 = self._subscript(forms)
+            value = self._expr(0, "i", forms)
+            lines.append(f"{other}[{sub2}] = {value};")
+        lo, hi = self._bounds(forms)
+        body = "\n".join(f"        {line}" for line in lines)
+        return (f"    for (i = {lo}; i < {hi}; i++) {{\n"
+                f"{body}\n    }}")
+
     def _bounds(self, forms: List[str]) -> Tuple[int, int]:
         lo, hi = 0, self.size
         for form in forms:
@@ -310,6 +346,7 @@ class ProgramGenerator:
         size = self.size
         helpers = [self._helper(i) for i in range(self.n_helpers)]
         block_makers = [self._for_block, self._for_block,
+                        self._guarded_for_block,
                         self._while_block, self._do_while_block,
                         self._scalar_block, self._if_block]
         if self.n_helpers:

@@ -168,6 +168,33 @@ class Cast(Expr):
 
 
 @dataclass(eq=False)
+class Select(Expr):
+    """A pure element merge: ``cond ? then : otherwise``, evaluated
+    *lazily* like the branch it replaces — the condition first, then
+    only the chosen arm, so predication never speculates a faulting
+    load or division the original guard protected.  Produced by the
+    if-conversion pass; the vectorizer turns selects against the
+    assignment target into masked vector stores.
+    """
+
+    cond: Expr = None  # type: ignore[assignment]
+    then: Expr = None  # type: ignore[assignment]
+    otherwise: Expr = None  # type: ignore[assignment]
+
+    def children(self) -> Tuple[Expr, ...]:
+        return (self.cond, self.then, self.otherwise)
+
+    def replace_children(self, new: Sequence[Expr]) -> "Select":
+        cond, then, otherwise = new
+        return Select(cond=cond, then=then, otherwise=otherwise,
+                      ctype=self.ctype)
+
+    def __repr__(self) -> str:
+        return (f"Select({self.cond!r}, {self.then!r}, "
+                f"{self.otherwise!r})")
+
+
+@dataclass(eq=False)
 class CallExpr(Expr):
     """A function call.  Only valid immediately under Assign/CallStmt,
     never nested inside another expression (calls have side effects)."""
@@ -210,6 +237,27 @@ class Section(Expr):
         return f"Section({self.addr!r}, n={self.length!r}, s={self.stride})"
 
 
+@dataclass(eq=False)
+class Iota(Expr):
+    """The index vector ``start, start+1, start+2, ...`` — lane *k*
+    holds ``start + k``.  Only valid inside vector statements; the
+    vectorizer materializes it when a loop index escapes memory
+    addressing into the dataflow (most commonly an if-converted
+    boundary guard like ``i > 0`` becoming a store mask)."""
+
+    start: Expr = None  # type: ignore[assignment]
+
+    def children(self) -> Tuple[Expr, ...]:
+        return (self.start,)
+
+    def replace_children(self, new: Sequence[Expr]) -> "Iota":
+        (start,) = new
+        return Iota(start=start, ctype=self.ctype)
+
+    def __repr__(self) -> str:
+        return f"Iota({self.start!r})"
+
+
 # ---------------------------------------------------------------------------
 # Statements
 # ---------------------------------------------------------------------------
@@ -250,13 +298,23 @@ class Assign(Stmt):
 
 @dataclass(eq=False)
 class VectorAssign(Stmt):
-    """A vector assignment over Sections; produced by the vectorizer."""
+    """A vector assignment over Sections; produced by the vectorizer.
+
+    When ``mask`` is present the statement is a *masked* store: the
+    mask expression is evaluated element-wise over the section length
+    (all lanes), then the value (all lanes — reads complete before any
+    write, as ever), and only lanes whose mask element is non-zero are
+    written back.  This is the execution form of an if-converted loop
+    body (the ``where`` of the paper-era vector Fortrans).
+    """
 
     target: Section = None  # type: ignore[assignment]
     value: Expr = None  # type: ignore[assignment]
+    mask: Optional[Expr] = None
 
     def __repr__(self) -> str:
-        return f"VectorAssign({self.target!r} = {self.value!r})"
+        where = f" where {self.mask!r}" if self.mask is not None else ""
+        return f"VectorAssign({self.target!r} = {self.value!r}{where})"
 
 
 @dataclass(eq=False)
@@ -457,6 +515,8 @@ def stmt_exprs(stmt: Stmt) -> Iterator[Expr]:
     if isinstance(stmt, (Assign, VectorAssign)):
         yield stmt.target
         yield stmt.value
+        if isinstance(stmt, VectorAssign) and stmt.mask is not None:
+            yield stmt.mask
     elif isinstance(stmt, VectorReduce):
         yield stmt.target
         yield stmt.value

@@ -54,9 +54,15 @@ def format_expr(expr: N.Expr, parent_prec: int = 0) -> str:
     if isinstance(expr, N.CallExpr):
         args = ", ".join(format_expr(a) for a in expr.args)
         return f"{expr.name}({args})"
+    if isinstance(expr, N.Select):
+        return (f"select({format_expr(expr.cond)}, "
+                f"{format_expr(expr.then)}, "
+                f"{format_expr(expr.otherwise)})")
     if isinstance(expr, N.Section):
         return (f"[{format_expr(expr.addr)} : n={format_expr(expr.length)}"
                 f" : s={expr.stride}]")
+    if isinstance(expr, N.Iota):
+        return f"iota({format_expr(expr.start)})"
     raise TypeError(f"unknown expression {expr!r}")
 
 
@@ -71,8 +77,14 @@ def format_stmt(stmt: N.Stmt, indent: int = 0,
         out.append(f"{pad}{format_expr(stmt.target)} = "
                    f"{format_expr(stmt.value)};")
     elif isinstance(stmt, N.VectorAssign):
-        out.append(f"{pad}{format_expr(stmt.target)} = "
-                   f"{format_expr(stmt.value)};   /* vector */")
+        if stmt.mask is not None:
+            out.append(f"{pad}{format_expr(stmt.target)} = "
+                       f"{format_expr(stmt.value)} "
+                       f"where {format_expr(stmt.mask)};"
+                       f"   /* masked vector */")
+        else:
+            out.append(f"{pad}{format_expr(stmt.target)} = "
+                       f"{format_expr(stmt.value)};   /* vector */")
     elif isinstance(stmt, N.VectorReduce):
         out.append(f"{pad}{format_expr(stmt.target)} = "
                    f"{format_expr(stmt.target)} {stmt.op} "

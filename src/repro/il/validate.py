@@ -104,6 +104,12 @@ def validate_function(fn: N.ILFunction) -> None:
                     "VectorAssign target must be a Section")
             _check_pure(stmt.value, top=False)
             _check_pure(stmt.target, top=False)
+            if stmt.mask is not None:
+                _check_pure(stmt.mask, top=False)
+                if not stmt.mask.ctype.is_integer:
+                    raise ILValidationError(
+                        "VectorAssign mask has non-integer type "
+                        f"{stmt.mask.ctype}")
         elif isinstance(stmt, N.VectorReduce):
             if not isinstance(stmt.target, N.VarRef):
                 raise ILValidationError(

@@ -645,6 +645,15 @@ class _FunctionCompiler:
                                   expr.ctype, env)
         if isinstance(expr, N.CallExpr):
             return self._bind_frame_call(env, self._compile_call(expr))
+        if isinstance(expr, N.Select):
+            # Python's conditional expression is lazy exactly like the
+            # oracle's Select: condition, then only the chosen arm.
+            cond = self._gen(expr.cond, env)
+            then = self._gen(expr.then, env)
+            other = self._gen(expr.otherwise, env)
+            return self._gen_conv(
+                f"(({then}) if ({cond}) else ({other}))",
+                expr.ctype, env)
         # Section or future node kinds: defer to the closure compiler
         # (which raises the oracle's "cannot evaluate" lazily).
         return self._bind_frame_call(env, self._compile_expr(expr))
@@ -813,6 +822,10 @@ class _FunctionCompiler:
                 self._unfusable(expr.right)
         if isinstance(expr, (N.UnOp, N.Cast)):
             return self._unfusable(expr.operand)
+        if isinstance(expr, N.Select):
+            return (self._unfusable(expr.cond) or
+                    self._unfusable(expr.then) or
+                    self._unfusable(expr.otherwise))
         return True  # CallExpr, Section, unknown node kinds
 
     def _codegen_chain(self, start: FlowNode, cell: Callable,
@@ -1040,12 +1053,36 @@ class _FunctionCompiler:
                 return cast
             operand = self._compile_expr(expr.operand)
             return lambda frame: conv(operand(frame))
+        if isinstance(expr, N.Select):
+            return self._compile_select(expr)
         if isinstance(expr, N.CallExpr):
             return self._compile_call(expr)
 
         def bad(frame):
             raise InterpreterError(f"cannot evaluate {expr!r}")
         return bad
+
+    def _compile_select(self, expr: N.Select) -> Callable:
+        """Lazy select, mirroring the oracle: condition first, then
+        only the chosen arm, so a predicated guard keeps protecting
+        the faulting load or division it guarded."""
+        cond_f = self._compile_expr(expr.cond)
+        then_f = self._compile_expr(expr.then)
+        other_f = self._compile_expr(expr.otherwise)
+        conv = _make_converter(expr.ctype)
+        hook = self.hook
+        if hook is None:
+            def select(frame):
+                return conv(then_f(frame) if cond_f(frame)
+                            else other_f(frame))
+            return select
+        kind = "flop" if expr.ctype.is_float else "intop"
+
+        def select(frame):
+            value = then_f(frame) if cond_f(frame) else other_f(frame)
+            hook(kind, "select")
+            return conv(value)
+        return select
 
     def _compile_addrof(self, expr: N.AddrOf) -> Callable:
         sym = expr.sym
@@ -1299,6 +1336,31 @@ class _FunctionCompiler:
             def cast(index, frame, cache):
                 return conv(operand(index, frame, cache))
             return cast
+        if isinstance(expr, N.Select):
+            conv = _make_converter(expr.ctype)
+            cond_f = self._compile_vector_elem(expr.cond, cache_slots)
+            then_f = self._compile_vector_elem(expr.then, cache_slots)
+            other_f = self._compile_vector_elem(expr.otherwise,
+                                                cache_slots)
+
+            def select(index, frame, cache):
+                # Lazy per lane, mirroring the oracle: the untaken
+                # arm of this lane is never evaluated.
+                arm = then_f if cond_f(index, frame, cache) else other_f
+                return conv(arm(index, frame, cache))
+            return select
+        if isinstance(expr, N.Iota):
+            slot = len(cache_slots)
+            cache_slots.append(slot)
+            start_f = self._compile_expr(expr.start)
+
+            def iota(index, frame, cache):
+                start = cache[slot]
+                if start is None:
+                    start = int(start_f(frame))
+                    cache[slot] = start
+                return start + index
+            return iota
         # Scalars broadcast: evaluate once (with cost events), cache.
         slot = len(cache_slots)
         cache_slots.append(slot)
@@ -1324,8 +1386,14 @@ class _FunctionCompiler:
                 return
             if isinstance(expr, N.Mem):
                 return
+            if isinstance(expr, N.Iota):
+                events.append(("int_op", 1))
+                return
             if isinstance(expr, (N.BinOp, N.UnOp)):
                 kind = expr.op if expr.ctype.is_float else "int_op"
+                events.append((kind, 1))
+            elif isinstance(expr, N.Select):
+                kind = "select" if expr.ctype.is_float else "int_op"
                 events.append((kind, 1))
             for child in expr.children():
                 walk(child)
@@ -1337,6 +1405,13 @@ class _FunctionCompiler:
         target = stmt.target
         length_f = self._compile_expr(target.length)
         cache_slots: List[int] = []
+        # The mask is compiled (and at runtime evaluated) before the
+        # value, matching the oracle: every lane's mask first, then the
+        # value for the *active* lanes only, so a guard that protected
+        # a faulting load or zero divisor keeps protecting it.
+        mask_f = None
+        if stmt.mask is not None:
+            mask_f = self._compile_vector_elem(stmt.mask, cache_slots)
         elem_f = self._compile_vector_elem(stmt.value, cache_slots)
         addr_f = self._compile_expr(target.addr)
         ncache = len(cache_slots)
@@ -1347,8 +1422,15 @@ class _FunctionCompiler:
                 if length <= 0:
                     return
                 cache = [None] * ncache
-                for i in range(length):
-                    elem_f(i, frame, cache)
+                if mask_f is None:
+                    for i in range(length):
+                        elem_f(i, frame, cache)
+                else:
+                    masks = [mask_f(i, frame, cache)
+                             for i in range(length)]
+                    for i in range(length):
+                        if masks[i]:
+                            elem_f(i, frame, cache)
                 int(addr_f(frame))
                 raise InterpreterError(
                     f"scalar access at aggregate type {ctype}")
@@ -1357,6 +1439,37 @@ class _FunctionCompiler:
         stride_bytes = target.stride * ctype.sizeof()
         hook = self.hook
         if hook is None:
+            if mask_f is None:
+                def vassign(frame):
+                    length = int(length_f(frame))
+                    if length <= 0:
+                        return
+                    cache = [None] * ncache
+                    values = [elem_f(i, frame, cache)
+                              for i in range(length)]
+                    base = int(addr_f(frame))
+                    for i, value in enumerate(values):
+                        store(base + i * stride_bytes, value)
+                return vassign
+
+            def vassign(frame):
+                length = int(length_f(frame))
+                if length <= 0:
+                    return
+                cache = [None] * ncache
+                masks = [mask_f(i, frame, cache) for i in range(length)]
+                values = [elem_f(i, frame, cache) if masks[i] else None
+                          for i in range(length)]
+                base = int(addr_f(frame))
+                for i, value in enumerate(values):
+                    if masks[i]:
+                        store(base + i * stride_bytes, value)
+            return vassign
+        events = tuple(self._vector_events(stmt.value))
+        if stmt.mask is not None:
+            events = tuple(self._vector_events(stmt.mask)) + events
+        tstride = target.stride
+        if mask_f is None:
             def vassign(frame):
                 length = int(length_f(frame))
                 if length <= 0:
@@ -1366,22 +1479,26 @@ class _FunctionCompiler:
                 base = int(addr_f(frame))
                 for i, value in enumerate(values):
                     store(base + i * stride_bytes, value)
+                for op, stride in events:
+                    hook("vector", op, length, stride)
+                hook("vector", "store", length, tstride)
             return vassign
-        events = tuple(self._vector_events(stmt.value))
-        tstride = target.stride
 
         def vassign(frame):
             length = int(length_f(frame))
             if length <= 0:
                 return
             cache = [None] * ncache
-            values = [elem_f(i, frame, cache) for i in range(length)]
+            masks = [mask_f(i, frame, cache) for i in range(length)]
+            values = [elem_f(i, frame, cache) if masks[i] else None
+                      for i in range(length)]
             base = int(addr_f(frame))
             for i, value in enumerate(values):
-                store(base + i * stride_bytes, value)
+                if masks[i]:
+                    store(base + i * stride_bytes, value)
             for op, stride in events:
                 hook("vector", op, length, stride)
-            hook("vector", "store", length, tstride)
+            hook("vector", "mask_store", length, tstride)
         return vassign
 
     def _compile_vector_reduce(self, stmt: N.VectorReduce) -> Callable:

@@ -448,12 +448,24 @@ class Interpreter:
         # Section base addresses and broadcast scalars are evaluated
         # once per vector statement, like real vector addressing.
         cache: Dict[int, Value] = {}
+        # Masked store: the mask is evaluated for every lane first,
+        # then the value for the *active* lanes only (reads before
+        # writes, as for any vector statement).  Inactive lanes never
+        # touch their operands, so a guard that protected an
+        # out-of-bounds load or a zero divisor keeps protecting it.
+        masks = None
+        if stmt.mask is not None:
+            masks = [self._eval_vector_elem(stmt.mask, i, frame, cache)
+                     for i in range(length)]
         values = [self._eval_vector_elem(stmt.value, i, frame, cache)
+                  if masks is None or masks[i] else None
                   for i in range(length)]
         base = int(self._eval(target.addr, frame))
         elem = _scalar_type(target.ctype)
         esize = elem.sizeof()
         for i, value in enumerate(values):
+            if masks is not None and not masks[i]:
+                continue
             self.memory.store(base + i * target.stride * esize, elem,
                               value)
         self._vector_cost(stmt, length)
@@ -471,14 +483,25 @@ class Interpreter:
                 return
             if isinstance(expr, N.Mem):
                 return  # broadcast scalar load, evaluated once
+            if isinstance(expr, N.Iota):
+                # One index-generation instruction; the scalar start
+                # is vector addressing, not dataflow.
+                self._cost("vector", "int_op", length, 1)
+                return
             if isinstance(expr, (N.BinOp, N.UnOp)):
                 kind = expr.op if expr.ctype.is_float else "int_op"
+                self._cost("vector", kind, length, 1)
+            elif isinstance(expr, N.Select):
+                kind = "select" if expr.ctype.is_float else "int_op"
                 self._cost("vector", kind, length, 1)
             for child in expr.children():
                 walk_value(child)
 
+        if stmt.mask is not None:
+            walk_value(stmt.mask)
         walk_value(stmt.value)
-        self._cost("vector", "store", length, stmt.target.stride)
+        store_op = "store" if stmt.mask is None else "mask_store"
+        self._cost("vector", store_op, length, stmt.target.stride)
 
     def _exec_vector_reduce(self, stmt: N.VectorReduce,
                             frame: _Frame) -> None:
@@ -518,6 +541,19 @@ class Interpreter:
             value = self._eval_vector_elem(expr.operand, index, frame,
                                            cache)
             return _convert_value(value, expr.ctype)
+        if isinstance(expr, N.Select):
+            # Lazy per lane, mirroring scalar Select: the untaken arm
+            # of this lane is never evaluated.
+            cond = self._eval_vector_elem(expr.cond, index, frame,
+                                          cache)
+            arm = expr.then if cond else expr.otherwise
+            value = self._eval_vector_elem(arm, index, frame, cache)
+            return _convert_value(value, expr.ctype)
+        if isinstance(expr, N.Iota):
+            key = id(expr)
+            if key not in cache:
+                cache[key] = int(self._eval(expr.start, frame))
+            return cache[key] + index
         # Scalars broadcast: evaluate once.
         key = id(expr)
         if key not in cache:
@@ -560,6 +596,16 @@ class Interpreter:
         if isinstance(expr, N.Cast):
             return _convert_value(self._eval(expr.operand, frame),
                                   expr.ctype)
+        if isinstance(expr, N.Select):
+            # Lazy, like the branch it replaced: only the chosen arm is
+            # evaluated, so if-conversion never speculates a faulting
+            # load or division the original guard protected.
+            cond = self._eval(expr.cond, frame)
+            value = self._eval(expr.then if cond else expr.otherwise,
+                               frame)
+            self._cost("flop" if expr.ctype.is_float else "intop",
+                       "select")
+            return _convert_value(value, expr.ctype)
         if isinstance(expr, N.CallExpr):
             return self._eval_call(expr, frame)
         raise InterpreterError(f"cannot evaluate {expr!r}")

@@ -124,7 +124,10 @@ class StaticCostEstimator:
         total = 0
         if isinstance(expr, N.Mem):
             total = self._load
-        elif isinstance(expr, (N.BinOp, N.UnOp)):
+        elif isinstance(expr, (N.BinOp, N.UnOp, N.Select)):
+            # A select is charged like the operator it is; the static
+            # walk still visits both arms (worst-case path), though
+            # execution is lazy.
             total = self._fp if expr.ctype.is_float else self._int
         elif isinstance(expr, N.CallExpr):
             total = self._call

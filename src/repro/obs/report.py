@@ -114,14 +114,20 @@ def _vector_ops(stmt) -> List[Dict[str, object]]:
             return
         if isinstance(expr, N.Mem):
             return  # broadcast scalar, evaluated once
-        if isinstance(expr, (N.BinOp, N.UnOp)):
+        if isinstance(expr, N.Iota):
+            ops.append({"op": "compute", "stride": 1})
+            return  # the scalar start is addressing, not dataflow
+        if isinstance(expr, (N.BinOp, N.UnOp, N.Select)):
             ops.append({"op": "compute", "stride": 1})
         for child in expr.children():
             walk_value(child)
 
     if isinstance(stmt, N.VectorAssign):
+        if stmt.mask is not None:
+            walk_value(stmt.mask)
         walk_value(stmt.value)
-        ops.append({"op": "store", "stride": stmt.target.stride})
+        store_op = "store" if stmt.mask is None else "mask_store"
+        ops.append({"op": store_op, "stride": stmt.target.stride})
     elif isinstance(stmt, N.VectorReduce):
         ops.append({"op": "reduce", "stride": 1})
     return ops
@@ -158,15 +164,15 @@ def _estimate_vector_cost(stmt, total: int, step: int,
         startup = cfg.vector_startup * chunks
         out["vector_startup"] += startup
         per_element = cfg.vector_element_cycles
-        if op["op"] in ("load", "store") and abs(op["stride"]) != 1:
+        memory_op = op["op"] in ("load", "store", "mask_store")
+        if memory_op and abs(op["stride"]) != 1:
             per_element *= cfg.vector_stride_penalty
         cycles = startup + per_element * total
         if op["op"] == "reduce":
             cycles += sum(r["count"]
                           * max(1, r["length"]).bit_length()
                           * cfg.fp_issue for r in runs)
-        bucket = "vector_memory" if op["op"] in ("load", "store") \
-            else "vector_compute"
+        bucket = "vector_memory" if memory_op else "vector_compute"
         out[bucket] += cycles
     return out
 

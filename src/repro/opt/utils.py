@@ -118,6 +118,8 @@ def substitute_in_stmt(stmt: N.Stmt, sym: Symbol,
     elif isinstance(stmt, N.VectorAssign):
         stmt.value = substitute_var(stmt.value, sym, replacement)
         stmt.target = substitute_var(stmt.target, sym, replacement)
+        if stmt.mask is not None:
+            stmt.mask = substitute_var(stmt.mask, sym, replacement)
     elif isinstance(stmt, N.VectorReduce):
         stmt.value = substitute_var(stmt.value, sym, replacement)
         stmt.length = substitute_var(stmt.length, sym, replacement)

@@ -49,6 +49,10 @@ class CompilerOptions:
     scalar_opt: bool = True
     vectorize: bool = True
     parallelize: bool = True
+    # If-conversion (section 5 prerequisite): predicate single-level
+    # branchy DO-loop bodies into select merges so the vectorizer sees
+    # straight-line code instead of bailing with ``control-flow``.
+    if_convert: bool = True
     reg_pipeline: bool = True
     strength_reduction: bool = True
     vector_length: int = 32
@@ -125,6 +129,7 @@ class CompilationResult:
     dce_stats: Dict[str, DCEStats] = field(default_factory=dict)
     vectorize_stats: Dict[str, VectorizeStats] = field(
         default_factory=dict)
+    if_convert_stats: Dict[str, object] = field(default_factory=dict)
     regpipe_stats: Dict[str, object] = field(default_factory=dict)
     strength_stats: Dict[str, object] = field(default_factory=dict)
     # Loop schedules (sid -> LoopSchedule) captured pre-strength-
@@ -239,11 +244,24 @@ class TitanCompiler:
                         assume_no_alias=opts.fortran_pointer_semantics))
                 args["loops_exported"] = len(result.dep_graphs)
         if opts.vectorize:
+            if opts.if_convert:
+                from .opt.if_convert import if_convert_function
+                with trace.span("if-convert") as args:
+                    for name, fn in program.functions.items():
+                        with self._pass("if-convert", program, name):
+                            istats = if_convert_function(
+                                fn, remarks=remarks)
+                        _merge(result.if_convert_stats, name, istats,
+                               ("examined", "converted", "statements"))
+                    args["ifs_converted"] = sum(
+                        s.converted
+                        for s in result.if_convert_stats.values())
             voptions = VectorizeOptions(
                 vector_length=opts.vector_length,
                 max_vector_length=opts.max_vector_length,
                 parallelize=opts.parallelize,
-                assume_no_alias=opts.fortran_pointer_semantics)
+                assume_no_alias=opts.fortran_pointer_semantics,
+                if_converted=opts.if_convert)
             with trace.span("vectorize") as args:
                 for name, fn in program.functions.items():
                     with self._pass("vectorize", program, name):
@@ -408,6 +426,7 @@ def _merge_vec_stats(prior: Optional[VectorizeStats],
     prior.loops_vectorized += stats.loops_vectorized
     prior.loops_parallelized += stats.loops_parallelized
     prior.vector_statements += stats.vector_statements
+    prior.masked_statements += stats.masked_statements
     for key, value in stats.rejected.items():
         prior.rejected[key] = prior.rejected.get(key, 0) + value
     prior.outcomes.extend(stats.outcomes)

@@ -21,6 +21,12 @@ from typing import Dict, List, Optional
 from ..sched.scheduler import LoopSchedule
 from .config import TitanConfig
 
+#: Vector ops that occupy the memory pipe: charged to the
+#: ``vector_memory`` bucket, stride-penalized, and not counted as
+#: flops.  ``mask_store`` is the predicated store of a masked
+#: VectorAssign — same pipe as a plain store.
+_VECTOR_MEMORY_OPS = ("load", "store", "mask_store")
+
 
 @dataclass
 class OpCounters:
@@ -181,12 +187,12 @@ class TitanCostModel:
         chunks = self._chunks(length)
         self.counters.vector_instructions += chunks
         self.counters.vector_elements += length
-        if op not in ("load", "store", "int_op"):
+        if op not in _VECTOR_MEMORY_OPS and op != "int_op":
             self.counters.flops += length
         per_element = cfg.vector_element_cycles
-        if op in ("load", "store") and abs(stride) != 1:
+        if op in _VECTOR_MEMORY_OPS and abs(stride) != 1:
             per_element *= cfg.vector_stride_penalty
-        bucket = "vector_memory" if op in ("load", "store") \
+        bucket = "vector_memory" if op in _VECTOR_MEMORY_OPS \
             else "vector_compute"
         startup = cfg.vector_startup * chunks
         self._charge(startup + per_element * max(length, 0), bucket)

@@ -117,12 +117,18 @@ class ListParallelizer:
 
     @staticmethod
     def _traversal_pointer(cond: N.Expr) -> Optional[Symbol]:
-        """Match ``p != 0`` (the truth-normalized `while (p)`)."""
-        if isinstance(cond, N.BinOp) and cond.op == "!=" \
-                and isinstance(cond.left, N.VarRef) \
-                and N.is_const(cond.right, 0) \
-                and cond.left.sym.ctype.is_pointer:
-            return cond.left.sym
+        """Match a pointer-truth loop condition in any of its
+        source spellings: ``p != 0``, the flipped ``0 != p``, and the
+        bare ``while (p)`` when it reaches this pass un-normalized."""
+        if isinstance(cond, N.VarRef) and cond.sym.ctype.is_pointer \
+                and not cond.is_volatile:
+            return cond.sym
+        if isinstance(cond, N.BinOp) and cond.op == "!=":
+            for var, zero in ((cond.left, cond.right),
+                              (cond.right, cond.left)):
+                if isinstance(var, N.VarRef) and N.is_const(zero, 0) \
+                        and var.sym.ctype.is_pointer:
+                    return var.sym
         return None
 
     def _advance_slice(self, body: List[N.Stmt], ptr: Symbol

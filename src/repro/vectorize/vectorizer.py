@@ -56,6 +56,11 @@ class VectorizeOptions:
     # The reference semantics accumulate in index order, so results are
     # bit-identical to the scalar loop.
     vectorize_reductions: bool = True
+    # The pipeline ran if-conversion before us: any branch still inside
+    # a loop body is one predication could not remove, so report the
+    # precise "not-if-convertible" miss instead of the blanket
+    # "control-flow".
+    if_converted: bool = False
 
 
 @dataclass
@@ -65,6 +70,7 @@ class LoopOutcome:
     parallelized: bool
     vector_statements: int = 0
     sequential_statements: int = 0
+    masked_statements: int = 0
     reason: str = ""
     # Source anchor and explanation, for the per-loop coverage table
     # of the compilation report (--report-json).
@@ -81,6 +87,7 @@ class VectorizeStats:
     loops_vectorized: int = 0
     loops_parallelized: int = 0
     vector_statements: int = 0
+    masked_statements: int = 0
     scalars_forwarded: int = 0
     rejected: Dict[str, int] = field(default_factory=dict)
     outcomes: List[LoopOutcome] = field(default_factory=list)
@@ -103,6 +110,12 @@ class Vectorizer:
         "control-flow": "loop body contains control flow "
                         "(if / nested loop); distribution needs a "
                         "straight-line body",
+        "not-if-convertible": "loop body branch survived "
+                              "if-conversion (condition or arm not "
+                              "predicable: call, volatile, nested "
+                              "flow, or unmergeable scalar)",
+        "unclassified": "examined but no outcome recorded "
+                        "(vectorizer accounting bug)",
         "irregular-flow": "loop body contains goto/label/return",
         "call": "loop body calls a function (possible side effects)",
         "statement-kind": "loop body contains a non-assignment "
@@ -133,6 +146,19 @@ class Vectorizer:
 
     def _process(self, loop: N.DoLoop, owner: List[N.Stmt]) -> None:
         self.stats.loops_examined += 1
+        before = len(self.stats.outcomes)
+        self._process_loop(loop, owner)
+        # Accounting invariant: every examined loop contributes exactly
+        # one outcome row, so the compilation report's per-loop
+        # coverage always sums to ``loops_examined``.  A decision path
+        # that forgets to record (the historical parallel-only bail)
+        # lands here instead of silently vanishing from the report.
+        if len(self.stats.outcomes) == before:
+            self.stats.reject(loop.sid, "unclassified", line=loop.line,
+                              detail=self.REJECT_MESSAGES["unclassified"])
+
+    def _process_loop(self, loop: N.DoLoop,
+                      owner: List[N.Stmt]) -> None:
         reason = self._reject_reason(loop)
         policy = AliasPolicy(assume_no_alias=(
             self.options.assume_no_alias
@@ -143,7 +169,8 @@ class Vectorizer:
             # after inner loops were vectorized — a body of vector
             # statements whose sections are independent across the
             # outer index (the §9 `do parallel` around vector shape).
-            if reason in ("control-flow", "statement-kind") \
+            if reason in ("control-flow", "not-if-convertible",
+                          "statement-kind") \
                     and self.options.parallelize:
                 if self._try_parallel_only(loop, policy):
                     return
@@ -194,8 +221,12 @@ class Vectorizer:
         n_vec = sum(1 for kind, comp in plan
                     if kind in ("vector", "reduce"))
         n_seq = sum(len(comp) for kind, comp in plan if kind == "seq")
+        n_masked = sum(1 for s in N.walk_statements(replacement)
+                       if isinstance(s, N.VectorAssign)
+                       and s.mask is not None)
         self.stats.loops_vectorized += 1
         self.stats.vector_statements += n_vec
+        self.stats.masked_statements += n_masked
         parallel = any(isinstance(s, N.DoLoop) and s.parallel
                        for s in replacement) or any(
             isinstance(s, N.VectorAssign) for s in replacement)
@@ -204,10 +235,13 @@ class Vectorizer:
         self.stats.outcomes.append(LoopOutcome(
             loop_sid=loop.sid, vectorized=True, parallelized=parallel,
             vector_statements=n_vec, sequential_statements=n_seq,
-            line=loop.line))
+            masked_statements=n_masked, line=loop.line))
         if self.remarks is not None:
             detail = f"{n_vec} vector statement(s), VL=" \
                      f"{self.options.vector_length}"
+            if n_masked:
+                detail += f"; {n_masked} masked store(s) " \
+                          f"(if-converted guards became masks)"
             if n_seq:
                 detail += f"; {n_seq} statement(s) stay sequential " \
                           f"(recurrence kept in a DO loop)"
@@ -217,7 +251,7 @@ class Vectorizer:
                 "vectorize", self._fn.name,
                 f"loop vectorized: {detail}", stmt=loop,
                 vector_statements=n_vec, sequential_statements=n_seq,
-                parallel=parallel,
+                masked_statements=n_masked, parallel=parallel,
                 vector_length=self.options.vector_length)
 
     # -- remark helpers ------------------------------------------------------
@@ -394,7 +428,12 @@ class Vectorizer:
         if not (N.is_const(loop.lo, 0) and loop.step == 1):
             return "not-normalized"
         for stmt in loop.body:
-            if isinstance(stmt, (N.IfStmt, N.WhileLoop, N.DoLoop)):
+            if isinstance(stmt, N.IfStmt):
+                # If-conversion already ran (and rejected this branch)
+                # when the pipeline says so — report the precise miss.
+                return "not-if-convertible" \
+                    if self.options.if_converted else "control-flow"
+            if isinstance(stmt, (N.WhileLoop, N.DoLoop)):
                 return "control-flow"
             if isinstance(stmt, (N.Goto, N.LabelStmt, N.Return)):
                 return "irregular-flow"
@@ -404,9 +443,11 @@ class Vectorizer:
                 return "statement-kind"
             if isinstance(stmt.value, N.CallExpr):
                 return "call"
-            if utils.expr_has_volatile(stmt.value) or (
-                    isinstance(stmt.target, (N.VarRef, N.Mem))
-                    and stmt.target.is_volatile):
+            # The target walk covers volatile refs in subscript
+            # expressions too (`a[v] = x` with volatile v), not just a
+            # volatile target object itself.
+            if utils.expr_has_volatile(stmt.value) \
+                    or utils.expr_has_volatile(stmt.target):
                 return "volatile"
         return None
 
@@ -510,21 +551,21 @@ class Vectorizer:
             return self._section_convertible(ref, loop_var,
                                              need_stride=False)
         if isinstance(expr, N.VarRef):
-            # A scalar defined in the body would need expansion after
-            # distribution; only loop-invariant scalars broadcast.
-            return expr.sym != loop_var and expr.sym in invariants
+            # The loop index itself vectorizes as an iota (index
+            # vector); any other scalar defined in the body would need
+            # expansion after distribution, so only loop-invariant
+            # scalars broadcast.
+            return expr.sym == loop_var or expr.sym in invariants
         if isinstance(expr, N.Const):
             return True
         if isinstance(expr, N.AddrOf):
             return True
-        if isinstance(expr, (N.BinOp, N.UnOp, N.Cast)):
-            # The loop variable may appear only inside Mem addresses.
+        if isinstance(expr, (N.BinOp, N.UnOp, N.Cast, N.Select)):
             for child in expr.children():
                 if not self._expr_sections_ok(child, loop_var,
                                               invariants, graph):
                     return False
-            return not any(isinstance(e, N.VarRef) and e.sym == loop_var
-                           for e in _non_mem_nodes(expr))
+            return True
         return False
 
     def _section_convertible(self, ref: AffineRef, loop_var: Symbol,
@@ -630,10 +671,30 @@ class Vectorizer:
 
     def _vector_stmt(self, stmt: N.Assign, loop_var: Symbol,
                      start: N.Expr, length: N.Expr) -> N.VectorAssign:
+        value_expr, mask_expr = stmt.value, None
+        if isinstance(stmt.value, N.Select):
+            # A select against the target's own old value is the
+            # if-converted guarded store: peel it into a *masked*
+            # vector assignment.  Inactive lanes are neither read nor
+            # written, so the guard keeps protecting whatever it
+            # protected in the scalar loop.
+            if N.expr_equal(stmt.value.otherwise, stmt.target):
+                mask_expr = stmt.value.cond
+                value_expr = stmt.value.then
+            elif N.expr_equal(stmt.value.then, stmt.target):
+                mask_expr = N.UnOp(op="not",
+                                   operand=N.clone_expr(
+                                       stmt.value.cond),
+                                   ctype=INT)
+                value_expr = stmt.value.otherwise
         target = self._to_section(stmt.target, loop_var, start, length)
-        value = self._value_to_sections(stmt.value, loop_var, start,
+        value = self._value_to_sections(value_expr, loop_var, start,
                                         length)
-        return N.VectorAssign(target=target, value=value,
+        mask = None
+        if mask_expr is not None:
+            mask = self._value_to_sections(mask_expr, loop_var, start,
+                                           length)
+        return N.VectorAssign(target=target, value=value, mask=mask,
                               line=stmt.line)
 
     def _to_section(self, mem: N.Mem, loop_var: Symbol, start: N.Expr,
@@ -652,7 +713,11 @@ class Vectorizer:
             if coeff == 0:
                 return expr  # broadcast scalar load
             return self._to_section(expr, loop_var, start, length)
-        if isinstance(expr, (N.BinOp, N.UnOp, N.Cast)):
+        if isinstance(expr, N.VarRef) and expr.sym == loop_var:
+            # The loop index in dataflow position becomes an index
+            # vector (lane k holds start + k).
+            return N.Iota(start=N.clone_expr(start), ctype=INT)
+        if isinstance(expr, (N.BinOp, N.UnOp, N.Cast, N.Select)):
             children = [self._value_to_sections(c, loop_var, start,
                                                 length)
                         for c in expr.children()]
@@ -813,10 +878,3 @@ def _resimplify_stmt(stmt: N.Stmt) -> None:
                                 ctype=stmt.target.ctype)
 
 
-def _non_mem_nodes(expr: N.Expr):
-    """Expression nodes not inside a Mem address."""
-    if isinstance(expr, N.Mem):
-        return
-    yield expr
-    for child in expr.children():
-        yield from _non_mem_nodes(child)

@@ -46,6 +46,26 @@ void mat4mul(void)
 }
 """
 
+# Pixel clamp: the branchy per-element min/max idiom graphics code
+# writes with ifs.  Both branches store the same element, so
+# if-conversion merges them into select dataflow and the loop
+# vectorizes — previously a "control-flow" bail.
+CLAMP_C = """
+float pix[N_PIX];
+float lo, hi;
+
+void clamp(int n)
+{
+    int i;
+    for (i = 0; i < n; i++) {
+        if (pix[i] < lo)
+            pix[i] = lo;
+        if (pix[i] > hi)
+            pix[i] = hi;
+    }
+}
+"""
+
 # Arrays embedded within structures (section 10's Doré deficiency).
 STRUCT_ARRAY_C = """
 struct vertex {
@@ -72,6 +92,10 @@ void shade(int n)
 
 def transform_points(n: int = 256) -> str:
     return TRANSFORM_POINTS_C.replace("N_PTS", str(n))
+
+
+def clamp(n: int = 256) -> str:
+    return CLAMP_C.replace("N_PIX", str(n))
 
 
 def struct_array(n: int = 256) -> str:

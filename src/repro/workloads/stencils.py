@@ -48,6 +48,23 @@ void smooth(int n)
 }}
 """
 
+# Boundary-guarded first difference: the interior guard reads only the
+# loop index, so if-conversion turns the branch into an iota-comparison
+# mask and the loop vectorizes as a masked vector store.  Before
+# if-conversion this was the canonical "control-flow" bail.
+GUARDED_DIFF_C = """
+float gin[{n}], gout[{n}];
+
+void guarded_diff(int n)
+{{
+    int i;
+    for (i = 0; i < n; i++) {{
+        if (i > 0)
+            gout[i] = (gin[i] - gin[i-1]) * 2.0f;
+    }}
+}}
+"""
+
 # In-place smoother: anti-dependence only (read of i+1 before it is
 # written) — still vectorizable because vector reads complete first.
 SMOOTH_INPLACE_C = """
@@ -72,6 +89,10 @@ def prefix(n: int = 512) -> str:
 
 def smooth(n: int = 512) -> str:
     return SMOOTH_C.format(n=n)
+
+
+def guarded_diff(n: int = 512) -> str:
+    return GUARDED_DIFF_C.format(n=n)
 
 
 def smooth_inplace(n: int = 512) -> str:

@@ -1,0 +1,30 @@
+// expect: run
+// If-conversion exercise: a boundary-guarded stencil (the guard reads
+// the loop index, so the mask becomes an iota comparison) plus a
+// guarded store whose condition reads the array being written.  The
+// masked vector path must leave the guarded-off elements untouched —
+// out[0] keeps its initialized value — and the lazy select must never
+// load in[i - 1] for the masked-off lane 0.
+int in[16];
+int out[16];
+
+int main(void)
+{
+    int i, chk;
+    for (i = 0; i < 16; i++) {
+        in[i] = (i * 7) % 13 - 6;
+        out[i] = 100 + i;
+    }
+    for (i = 0; i < 16; i++) {
+        if (i > 0)
+            out[i] = (in[i] - in[i - 1]) * 2;
+    }
+    for (i = 0; i < 16; i++) {
+        if (in[i] < 0)
+            in[i] = -in[i];
+    }
+    chk = 0;
+    for (i = 0; i < 16; i++)
+        chk = chk * 31 + in[i] + out[i] * 3;
+    return chk;
+}

@@ -1,0 +1,44 @@
+// expect: run
+// If-conversion exercise: an if/else pair storing to the same element
+// (pairwise select merge), a guarded division whose divisor the guard
+// proves non-zero (laziness must keep protecting it), and a branch
+// the pass must reject (the arm calls a helper) so the reject path
+// replays too.
+int A[12];
+int B[12];
+int d;
+
+int clampk(int x, int y)
+{
+    if (x > y)
+        return y;
+    return x;
+}
+
+int main(void)
+{
+    int i, chk;
+    d = 0;
+    for (i = 0; i < 12; i++) {
+        A[i] = (i * 5) % 11 - 3;
+        B[i] = i - 6;
+    }
+    for (i = 0; i < 12; i++) {
+        if (A[i] < B[i])
+            A[i] = B[i] - A[i];
+        else
+            A[i] = A[i] - B[i];
+    }
+    for (i = 0; i < 12; i++) {
+        if (d != 0)
+            B[i] = A[i] / d;
+    }
+    for (i = 0; i < 12; i++) {
+        if (B[i] > 0)
+            B[i] = clampk(B[i], 4);
+    }
+    chk = 0;
+    for (i = 0; i < 12; i++)
+        chk = chk * 31 + A[i] * 3 + B[i];
+    return chk;
+}

@@ -1,0 +1,21 @@
+/* If-conversion fixture: a boundary-guarded difference (the guard
+ * becomes an iota mask on a masked vector store) and an if/else abs
+ * idiom (pairwise select merge).  The vectorize-stage snapshot is the
+ * transcript of both masked forms. */
+float gin[64], gout[64];
+float av[64], bv[64];
+
+void kernels(int n)
+{
+    int i;
+    for (i = 0; i < n; i++) {
+        if (i > 0)
+            gout[i] = (gin[i] - gin[i - 1]) * 2.0f;
+    }
+    for (i = 0; i < n; i++) {
+        if (bv[i] < 0.0f)
+            av[i] = -bv[i];
+        else
+            av[i] = bv[i];
+    }
+}

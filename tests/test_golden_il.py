@@ -31,6 +31,7 @@ CASES = {
     "daxpy": EXAMPLES / "daxpy.c",
     "backsolve": EXAMPLES / "backsolve.c",
     "inline_chain": GOLDEN_DIR / "inline_chain.c",
+    "ifconvert": GOLDEN_DIR / "ifconvert.c",
 }
 
 

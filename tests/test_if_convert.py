@@ -1,0 +1,373 @@
+"""Tests for if-conversion (repro.opt.if_convert) and the masked
+vector execution path it feeds.
+
+Covers the pass's legality decisions and remarks, the lazy select /
+masked-store semantics (a predicated guard must keep protecting the
+faulting load or division it guarded), engine parity of the masked
+path, the vectorizer's outcome-accounting invariant, and the
+volatile-subscript reject fix.
+"""
+
+import pytest
+
+from repro.frontend.lower import compile_to_il
+from repro.il import nodes as N
+from repro.il.validate import validate_program
+from repro.interp import make_interpreter
+from repro.opt.if_convert import if_convert_function
+from repro.opt.while_to_do import convert_while_loops
+from repro.pipeline import CompilerOptions, compile_c
+
+from tests.helpers import assert_same_behaviour
+
+
+def build(src, name="f", **opt_kwargs):
+    result = compile_c(src, CompilerOptions(**opt_kwargs))
+    validate_program(result.program)
+    return result, result.program.functions[name]
+
+
+def selects_in(fn):
+    return [e for s in fn.all_statements()
+            for e in N.walk_expr(s.value)
+            if isinstance(s, (N.Assign, N.VectorAssign))
+            and isinstance(e, N.Select)]
+
+
+def masked_assigns(fn):
+    return [s for s in fn.all_statements()
+            if isinstance(s, N.VectorAssign) and s.mask is not None]
+
+
+def vector_assigns(fn):
+    return [s for s in fn.all_statements()
+            if isinstance(s, N.VectorAssign)]
+
+
+class TestPass:
+    def run_pass(self, src, name="f"):
+        # The front end leaves `for` as a WhileLoop; if-conversion
+        # only looks inside DO loops, so convert first.
+        program = compile_to_il(src)
+        fn = program.functions[name]
+        convert_while_loops(fn, program.symtab)
+        stats = if_convert_function(fn)
+        validate_program(program)
+        return stats, fn
+
+    def test_pairwise_merge(self):
+        stats, fn = self.run_pass(
+            "float a[8], b[8];"
+            "void f(void) { int i;"
+            " for (i = 0; i < 8; i = i + 1) {"
+            "  if (b[i] < 0.0f) a[i] = -b[i]; else a[i] = b[i]; } }")
+        assert stats.converted == 1 and stats.statements == 1
+        assert not any(isinstance(s, N.IfStmt)
+                       for s in fn.all_statements())
+
+    def test_guarded_store_reads_old_value(self):
+        stats, fn = self.run_pass(
+            "float a[8], b[8];"
+            "void f(void) { int i;"
+            " for (i = 0; i < 8; i = i + 1)"
+            "  if (b[i] > 0.0f) a[i] = b[i]; }")
+        assert stats.converted == 1
+        sel = [e for s in fn.all_statements()
+               if isinstance(s, N.Assign)
+               for e in N.walk_expr(s.value)
+               if isinstance(e, N.Select)]
+        assert sel and N.expr_equal(sel[0].otherwise, sel[0].then) \
+            is not None  # shape sanity; arms exist
+
+    def test_guarded_scalar_needs_earlier_def(self):
+        stats, _ = self.run_pass(
+            "float b[8];"
+            "void f(void) { int i; float t;"
+            " for (i = 0; i < 8; i = i + 1)"
+            "  if (b[i] > 0.0f) t = b[i]; }")
+        assert stats.converted == 0
+        assert stats.rejected.get("scalar-merge") == 1
+
+    def test_guarded_scalar_with_earlier_def_converts(self):
+        stats, _ = self.run_pass(
+            "float b[8];"
+            "void f(void) { int i; float t;"
+            " for (i = 0; i < 8; i = i + 1) {"
+            "  t = b[i];"
+            "  if (b[i] > 0.0f) t = -b[i]; } }")
+        assert stats.converted == 1
+
+    def test_call_in_condition_rejected(self):
+        # The C front end hoists calls out of conditions, so build the
+        # shape directly: wrap the lowered condition in a CallExpr.
+        program = compile_to_il(
+            "float a[8], b[8];"
+            "void f(void) { int i;"
+            " for (i = 0; i < 8; i = i + 1)"
+            "  if (b[i] > 0.0f) a[i] = b[i]; }")
+        fn = program.functions["f"]
+        convert_while_loops(fn, program.symtab)
+        ifs = [s for s in fn.all_statements()
+               if isinstance(s, N.IfStmt)]
+        assert ifs
+        ifs[0].cond = N.CallExpr(name="g", args=[ifs[0].cond],
+                                 ctype=ifs[0].cond.ctype)
+        stats = if_convert_function(fn)
+        assert stats.converted == 0
+        assert stats.rejected.get("cond-call") == 1
+
+    def test_call_in_arm_rejected(self):
+        stats, _ = self.run_pass(
+            "float g(float); float a[8], b[8];"
+            "void f(void) { int i;"
+            " for (i = 0; i < 8; i = i + 1)"
+            "  if (b[i] > 0.0f) a[i] = g(b[i]); }")
+        assert stats.converted == 0
+        assert stats.rejected.get("arm-call") == 1
+
+    def test_volatile_in_arm_rejected(self):
+        stats, _ = self.run_pass(
+            "volatile float port; float a[8], b[8];"
+            "void f(void) { int i;"
+            " for (i = 0; i < 8; i = i + 1)"
+            "  if (b[i] > 0.0f) a[i] = port; }")
+        assert stats.converted == 0
+        assert stats.rejected.get("arm-volatile") == 1
+
+    def test_nested_if_rejected(self):
+        stats, _ = self.run_pass(
+            "float a[8], b[8];"
+            "void f(void) { int i;"
+            " for (i = 0; i < 8; i = i + 1)"
+            "  if (b[i] > 0.0f) { if (a[i] > 0.0f) a[i] = b[i]; } }")
+        # Outer if examined and rejected (arm-shape); the inner one is
+        # not a direct DoLoop-body statement.
+        assert stats.rejected.get("arm-shape") == 1
+
+    def test_remarks_emitted(self):
+        result, _ = build(
+            "float a[64], b[64];"
+            "void f(void) { int i;"
+            " for (i = 0; i < 64; i++)"
+            "  if (b[i] > 0.0f) a[i] = b[i]; }")
+        transformed = [r for r in result.remarks.for_pass("if-convert")
+                       if r.kind == "transformed"]
+        assert transformed
+        assert result.if_convert_stats["f"].converted == 1
+
+
+class TestMaskedPipeline:
+    def test_guarded_store_becomes_masked_vector(self):
+        result, fn = build(
+            "float a[64], b[64];"
+            "void f(void) { int i;"
+            " for (i = 0; i < 64; i++)"
+            "  if (b[i] > 0.0f) a[i] = b[i] * 2.0f; }")
+        assert masked_assigns(fn)
+        assert result.vectorize_stats["f"].loops_vectorized == 1
+        assert result.vectorize_stats["f"].masked_statements >= 1
+
+    def test_index_guard_becomes_iota_mask(self):
+        _, fn = build(
+            "float in_[64], out[64];"
+            "void f(void) { int i;"
+            " for (i = 0; i < 64; i++)"
+            "  if (i > 0) out[i] = (in_[i] - in_[i-1]) * 2.0f; }")
+        masked = masked_assigns(fn)
+        assert masked
+        assert any(isinstance(e, N.Iota)
+                   for e in N.walk_expr(masked[0].mask))
+
+    def test_disabled_flag_restores_control_flow_bail(self):
+        result, fn = build(
+            "float a[64], b[64];"
+            "void f(void) { int i;"
+            " for (i = 0; i < 64; i++)"
+            "  if (b[i] > 0.0f) a[i] = b[i]; }",
+            if_convert=False, parallelize=False)
+        assert not vector_assigns(fn)
+        assert result.vectorize_stats["f"].rejected.get(
+            "control-flow", 0) >= 1
+
+    def test_surviving_branch_counts_not_if_convertible(self):
+        # The arm calls a helper: if-conversion rejects it, and the
+        # vectorizer reports the refined miss reason.
+        result, fn = build(
+            "float g(float); float a[64], b[64];"
+            "void f(void) { int i;"
+            " for (i = 0; i < 64; i++)"
+            "  if (b[i] > 0.0f) a[i] = g(b[i]); }",
+            parallelize=False)
+        assert not vector_assigns(fn)
+        assert result.vectorize_stats["f"].rejected.get(
+            "not-if-convertible", 0) >= 1
+
+
+class TestMaskedSemantics:
+    def test_masked_lanes_left_untouched(self):
+        src = """
+        float a[64], b[64];
+        int main(void) {
+            int i;
+            for (i = 0; i < 64; i++)
+                if (b[i] > 0.5f)
+                    a[i] = b[i] * 2.0f;
+            return 0;
+        }
+        """
+        assert_same_behaviour(
+            src,
+            arrays={"a": [100.0 + i for i in range(64)],
+                    "b": [(i % 3) / 2.0 for i in range(64)]},
+            check_arrays=[("a", 64)],
+            parallel_orders=("forward", "reverse", "shuffle"))
+
+    def test_guard_keeps_protecting_oob_load(self):
+        # Lane 0's mask is off, so in_[i-1] (out of bounds at i=0)
+        # must never be loaded by the masked vector statement.
+        src = """
+        float in_[64], out[64];
+        int main(void) {
+            int i;
+            for (i = 0; i < 64; i++)
+                if (i > 0)
+                    out[i] = (in_[i] - in_[i-1]) * 0.5f;
+            return (int)out[5];
+        }
+        """
+        assert_same_behaviour(
+            src, arrays={"in_": [float(i * 3 % 7) for i in range(64)],
+                         "out": [9.0] * 64},
+            check_arrays=[("out", 64)])
+
+    def test_guard_keeps_protecting_zero_divide(self):
+        src = """
+        float a[32], b[32];
+        float d;
+        int main(void) {
+            int i;
+            d = 0.0f;
+            for (i = 0; i < 32; i++)
+                if (d != 0.0f)
+                    a[i] = b[i] / d;
+            return (int)a[3];
+        }
+        """
+        assert_same_behaviour(
+            src, arrays={"a": [7.0] * 32,
+                         "b": [float(i) for i in range(32)]},
+            check_arrays=[("a", 32)])
+
+    def test_clamp_idiom_semantics(self):
+        src = """
+        float pix[64];
+        float lo, hi;
+        int main(void) {
+            int i;
+            lo = 0.25f; hi = 0.75f;
+            for (i = 0; i < 64; i++) {
+                if (pix[i] < lo) pix[i] = lo;
+                if (pix[i] > hi) pix[i] = hi;
+            }
+            return 0;
+        }
+        """
+        assert_same_behaviour(
+            src, arrays={"pix": [(i % 9) / 8.0 for i in range(64)]},
+            check_arrays=[("pix", 64)],
+            parallel_orders=("forward", "reverse", "shuffle"))
+
+
+class TestEngineParity:
+    def test_masked_path_bit_identical(self):
+        src = """
+        float a[64], b[64], out[64];
+        int main(void) {
+            int i;
+            for (i = 0; i < 64; i++) {
+                b[i] = (i * 7) % 13 - 6;
+            }
+            for (i = 0; i < 64; i++) {
+                if (b[i] < 0.0f) a[i] = -b[i]; else a[i] = b[i];
+            }
+            for (i = 0; i < 64; i++) {
+                if (i > 2) out[i] = a[i] - a[i-2];
+            }
+            return (int)(a[7] + out[9]);
+        }
+        """
+        program = compile_c(src).program
+        observed = {}
+        for engine in ("tree", "compiled"):
+            events = []
+            interp = make_interpreter(
+                program, engine=engine, seed=3,
+                cost_hook=lambda *e: events.append(e))
+            result = interp.run("main")
+            observed[engine] = (result, interp.stdout, interp.steps,
+                                events)
+        assert observed["tree"] == observed["compiled"]
+        flat = [e for e in observed["tree"][3] if e[0] == "vector"]
+        assert any(e[1] == "mask_store" for e in flat)
+
+
+class TestOutcomeAccounting:
+    SOURCES = (
+        # vectorized
+        "float a[64], b[64];"
+        "void f(void) { int i;"
+        " for (i = 0; i < 64; i++) a[i] = b[i]; }",
+        # masked vectorized
+        "float a[64], b[64];"
+        "void f(void) { int i;"
+        " for (i = 0; i < 64; i++)"
+        "  if (b[i] > 0.0f) a[i] = b[i]; }",
+        # recurrence reject
+        "float a[64];"
+        "void f(void) { int i;"
+        " for (i = 1; i < 64; i++) a[i] = a[i-1]; }",
+        # call reject
+        "float g(float); float a[64];"
+        "void f(void) { int i;"
+        " for (i = 0; i < 64; i++) a[i] = g(a[i]); }",
+        # branch that survives if-conversion
+        "float g(float); float a[64], b[64];"
+        "void f(void) { int i;"
+        " for (i = 0; i < 64; i++)"
+        "  if (b[i] > 0.0f) a[i] = g(b[i]); }",
+        # nested loops
+        "float a[8][8];"
+        "void f(void) { int i, j;"
+        " for (i = 0; i < 8; i++)"
+        "  for (j = 0; j < 8; j++) a[i][j] = 0.0f; }",
+        # reduction
+        "float t; float a[64];"
+        "void f(void) { int i;"
+        " for (i = 0; i < 64; i++) t = t + a[i]; }",
+    )
+
+    @pytest.mark.parametrize("index", range(len(SOURCES)))
+    def test_every_examined_loop_has_one_outcome(self, index):
+        for kwargs in ({}, {"parallelize": False},
+                       {"if_convert": False}):
+            result, _ = build(self.SOURCES[index], **kwargs)
+            stats = result.vectorize_stats["f"]
+            assert len(stats.outcomes) == stats.loops_examined, (
+                f"source {index} kwargs {kwargs}: "
+                f"{len(stats.outcomes)} outcomes for "
+                f"{stats.loops_examined} examined loops")
+            assert not stats.rejected.get("unclassified")
+
+
+class TestVolatileSubscript:
+    def test_volatile_in_target_subscript_rejected(self):
+        # The old check only looked at stmt.value, so a volatile read
+        # in the *target* subscript slipped past the reject and the
+        # loop miscounted volatile accesses.
+        src = ("volatile int vidx; float a[64], b[64];"
+               "void f(void) { int i;"
+               " for (i = 0; i < 64; i++) a[vidx] = b[i]; }")
+        result, fn = build(src, parallelize=False)
+        assert not vector_assigns(fn)
+        assert result.vectorize_stats["f"].rejected.get(
+            "volatile", 0) >= 1

@@ -73,6 +73,42 @@ class TestRecognition:
         """)
         assert list_loops(result.program.functions["work"])
 
+    def test_flipped_zero_comparison_converts(self):
+        # `0 != p` is the same truth test spelled backwards.
+        result = compile_work("""
+        void work(struct node *head) {
+            struct node *p;
+            p = head;
+            while (0 != p) {
+                p->squared = p->value;
+                p = p->next;
+            }
+        }
+        """)
+        assert list_loops(result.program.functions["work"])
+
+    def test_bare_pointer_condition_recognized(self):
+        # A bare `while (p)` that reaches the pass un-normalized (IL
+        # built by hand or by another front end) matches directly.
+        from repro.frontend.ctypes_ import PointerType, FLOAT, INT
+        from repro.frontend.symtab import Symbol
+        from repro.vectorize.listparallel import ListParallelizer
+        p = Symbol(name="p", ctype=PointerType(FLOAT))
+        match = ListParallelizer._traversal_pointer(
+            N.VarRef(sym=p, ctype=p.ctype))
+        assert match is p
+        # Flipped constant comparison, as IL.
+        zero = N.Const(value=0, ctype=INT)
+        match = ListParallelizer._traversal_pointer(
+            N.BinOp(op="!=", left=zero,
+                    right=N.VarRef(sym=p, ctype=p.ctype),
+                    ctype=INT))
+        assert match is p
+        # A non-pointer truth test must not match.
+        n = Symbol(name="n", ctype=INT)
+        assert ListParallelizer._traversal_pointer(
+            N.VarRef(sym=n, ctype=INT)) is None
+
     def test_disabled_by_default(self):
         result = compile_work("""
         void work(struct node *head) {

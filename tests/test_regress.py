@@ -305,7 +305,7 @@ class TestCommittedBaselines:
 
     def test_baselines_present_and_versioned(self, regress):
         docs = regress.load_benches(regress.BASELINE_DIR)
-        assert len(docs) == 15
+        assert len(docs) == 16
         for name, doc in docs.items():
             assert doc["schema"] == regress.BENCH_SCHEMA
             assert doc["variants"], name
@@ -347,3 +347,16 @@ class TestCommittedBaselines:
         assert attrib["attrib_steps_daxpy"] > 0
         assert attrib["attrib_steps_backsolve"] > 0
         assert attrib["host_attrib_speedup"] > 0.6
+
+    def test_ifconvert_speedups_recorded(self, regress):
+        # The E16 acceptance criterion: both formerly control-flow-
+        # rejected kernels vectorize as masked sections and the
+        # masking pays measured Titan cycles, not just coverage.
+        docs = regress.load_benches(regress.BASELINE_DIR)
+        variants = docs["e16_ifconvert"]["variants"]
+        coverage = variants["coverage"]
+        assert coverage["vectorized_loops"] >= 2
+        assert coverage["masked_statements"] >= 2
+        summary = variants["summary"]
+        assert summary["diff_speedup"] > 1.5
+        assert summary["clamp_speedup"] > 1.5

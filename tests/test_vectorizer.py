@@ -187,32 +187,48 @@ class TestVectorization:
         _, fn = vec(src)
         assert vector_assigns(fn)
 
-    def test_iota_not_vectorized_but_parallel(self):
-        # a[i] = i: no vector iota instruction; spreads instead.
+    def test_iota_vectorizes_as_index_vector(self):
+        # a[i] = i: the loop index becomes an iota index vector.
         src = ("float a[64];"
                "void f(void) { int i;"
                " for (i = 0; i < 64; i++) a[i] = i; }")
         result, fn = vec(src)
-        assert not vector_assigns(fn)
-        loops = do_loops(fn)
-        assert loops and loops[0].parallel
+        vas = vector_assigns(fn)
+        assert vas
+        assert any(isinstance(e, N.Iota)
+                   for e in N.walk_expr(vas[0].value))
+        assert result.vectorize_stats["f"].loops_vectorized == 1
+
+
+IF_BODY_SRC = """
+float a[64], b[64];
+void f(void) {
+    int i;
+    for (i = 0; i < 64; i++) {
+        if (b[i] > 0.0f)
+            a[i] = b[i];
+        else
+            a[i] = 0.0f;
+    }
+}
+"""
 
 
 class TestParallelOnly:
-    def test_if_body_loop_spreads(self):
-        src = """
-        float a[64], b[64];
-        void f(void) {
-            int i;
-            for (i = 0; i < 64; i++) {
-                if (b[i] > 0.0f)
-                    a[i] = b[i];
-                else
-                    a[i] = 0.0f;
-            }
-        }
-        """
-        _, fn = vec(src)
+    def test_if_body_loop_now_vectorizes(self):
+        # If-conversion merges the branch into select dataflow, so the
+        # old "control-flow" bail vectorizes instead of only spreading.
+        result, fn = vec(IF_BODY_SRC)
+        vas = vector_assigns(fn)
+        assert vas
+        assert any(isinstance(e, N.Select)
+                   for e in N.walk_expr(vas[0].value))
+        assert result.vectorize_stats["f"].loops_vectorized == 1
+
+    def test_if_body_loop_spreads_without_if_convert(self):
+        # With the pass disabled the historical behaviour remains:
+        # parallel-only spreading of the branchy body.
+        _, fn = vec(IF_BODY_SRC, if_convert=False)
         loops = do_loops(fn)
         assert loops and loops[0].parallel
 
