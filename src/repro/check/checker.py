@@ -8,9 +8,10 @@ observes every transforming pass.  After each one it
 2. re-validates the section 3/4 IL invariants
    (:func:`repro.il.validate.validate_program` plus program-wide
    statement-id uniqueness), and
-3. in execution mode, runs the snapshot through the *tree-walking*
-   oracle on the captured input and compares result value, stdout,
-   and exit status against the front-end baseline.
+3. in execution mode, runs the snapshot through an execution engine
+   (the *tree-walking* oracle by default) on the captured input and
+   compares result value, stdout, and exit status against the
+   front-end baseline.
 
 Execution is skipped when the printer text did not change (an
 unchanged program has unchanged semantics), which is what makes
@@ -131,13 +132,16 @@ class PassChecker(PipelineHook):
     the committed reproducers are self-contained, so running ``main``
     *is* replaying the failure.  ``parallel_order``/``seed`` must match
     the failing variant's run so order-dependent parallel bugs
-    reproduce at the pass where the loop went parallel.
+    reproduce at the pass where the loop went parallel.  ``engine``
+    selects the execution engine the snapshots replay on (default the
+    tree-walking oracle; pass a fast engine to check a pass pipeline
+    against that engine's semantics instead).
     """
 
     def __init__(self, entry: str = "main", entry_args: tuple = (),
                  execute: bool = True, max_steps: int = 2_000_000,
                  parallel_order: str = "forward", seed: int = 7,
-                 memory_size: int = 1 << 22):
+                 memory_size: int = 1 << 22, engine: str = "tree"):
         self.entry = entry
         self.entry_args = tuple(entry_args)
         self.execute = execute
@@ -145,6 +149,7 @@ class PassChecker(PipelineHook):
         self.parallel_order = parallel_order
         self.seed = seed
         self.memory_size = memory_size
+        self.engine = engine
         self.snapshots: List[PassSnapshot] = []
         #: The pass announced by ``before_pass`` that has not yet
         #: delivered ``after_pass`` — the crash suspect.
@@ -245,7 +250,7 @@ class PassChecker(PipelineHook):
         from ..interp.interpreter import make_interpreter
         try:
             interp = make_interpreter(
-                program, engine="tree", max_steps=self.max_steps,
+                program, engine=self.engine, max_steps=self.max_steps,
                 parallel_order=self.parallel_order, seed=self.seed,
                 memory_size=self.memory_size)
             value = interp.run(self.entry, *self.entry_args)

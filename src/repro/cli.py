@@ -16,6 +16,7 @@ Usage examples::
     titancc file.c --dump-deps deps/      # dependence graphs (DOT+JSON)
     titancc file.c --check-passes         # re-check IL after every pass
     titancc file.c --bisect               # convict a miscompiling pass
+    titancc file.c --dump-code main       # bytecode engine's generated code
 """
 
 from __future__ import annotations
@@ -73,8 +74,16 @@ def build_arg_parser() -> argparse.ArgumentParser:
     parser.add_argument("--engine", choices=ENGINES,
                         default="compiled",
                         help="execution engine for --run: the "
-                             "closure-compiled fast path (default) or "
-                             "the tree-walking semantic oracle")
+                             "closure-compiled fast path (default), "
+                             "the whole-function bytecode codegen "
+                             "tier, or the tree-walking semantic "
+                             "oracle")
+    parser.add_argument("--dump-code", metavar="FN",
+                        help="print the bytecode engine's generated "
+                             "Python source and CPython disassembly "
+                             "for function FN to stderr (no --run "
+                             "needed); fallback functions report why "
+                             "they run on the closure tier")
     parser.add_argument("--make-db", metavar="PATH",
                         help="save the parsed procedures as an inline "
                              "database instead of compiling")
@@ -329,6 +338,19 @@ def _compile_main(args: argparse.Namespace, compiler: TitanCompiler,
             schemas.write_json_artifact(base + ".json", doc)
         log.info(f"wrote {len(result.dep_graphs)} dependence "
                  f"graph(s) to {args.dump_deps}")
+
+    if args.dump_code:
+        # A hook-free bytecode engine over the compiled program: with
+        # no cost hook the engine takes its codegen path, which is
+        # exactly the code --dump-code exists to show.
+        from .interp import InterpreterError, make_interpreter
+        interp = make_interpreter(result.program, engine="bytecode")
+        try:
+            listing = interp.disassemble(args.dump_code)
+        except InterpreterError as exc:
+            log.error(str(exc))
+            return 1
+        sys.stderr.write(listing)
 
     config = TitanConfig(processors=args.processors,
                          max_vector_length=args.vector_length)

@@ -14,8 +14,8 @@ from .generator import (GeneratedProgram, GeneratorOptions,
                         ProgramGenerator, generate_program)
 from .harness import (CLEAN_REJECTIONS, DifferentialResult, FuzzReport,
                       VariantResult, classify_exception, fuzz,
-                      fuzz_parallel, option_points, run_source,
-                      seed_chunks)
+                      fuzz_parallel, option_points, resolve_engines,
+                      run_source, seed_chunks)
 from .reduce import reduce_result, reduce_source
 
 __all__ = [
@@ -33,6 +33,7 @@ __all__ = [
     "option_points",
     "reduce_result",
     "reduce_source",
+    "resolve_engines",
     "run_source",
     "seed_chunks",
 ]

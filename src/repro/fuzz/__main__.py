@@ -13,6 +13,12 @@ seed order), so the summary — including its ``metrics`` block — is
 byte-identical to a sequential run; ``summary.json`` additionally
 records per-worker wall times.
 
+By default every variant runs on *all* fast engines — the three-way
+differential (tree oracle vs. closure-compiled vs. bytecode codegen);
+``--engine compiled`` or ``--engine bytecode`` narrows the sweep to
+one engine, and ``summary.json`` carries the aggregate per-engine
+wall times under ``engine_timings``.
+
 With ``--out DIR`` every failure is minimized and written as
 ``DIR/repro_<name>.c`` (a self-contained one-command reproducer),
 ``DIR/summary.json`` records the whole run (schema ``titancc-fuzz/1``,
@@ -69,11 +75,13 @@ def build_arg_parser() -> argparse.ArgumentParser:
                         help="fan the seed range out over N worker "
                              "processes (default 1; the merged "
                              "summary is identical either way)")
-    parser.add_argument("--engine", choices=ENGINES,
-                        default="compiled",
+    parser.add_argument("--engine", choices=ENGINES + ("all",),
+                        default="all",
                         help="execution engine for the optimized "
                              "variants (the reference always runs on "
-                             "the tree-walking oracle)")
+                             "the tree-walking oracle); 'all' runs "
+                             "every fast engine over each variant — "
+                             "the three-way differential (default)")
     parser.add_argument("--check-passes", action="store_true",
                         help="compile every variant with the per-pass "
                              "semantic checker installed: each pass's "
@@ -183,6 +191,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         summary = report.to_dict()
         summary["engine"] = args.engine
         summary["jobs"] = args.jobs
+        # Wall time per execution engine ("tree" is the reference
+        # runs).  Nondeterministic by nature, so it rides next to the
+        # per-worker timings instead of inside the report document.
+        summary["engine_timings"] = {
+            eng: round(seconds, 3)
+            for eng, seconds in sorted(report.engine_seconds.items())}
         if workers is not None:
             summary["workers"] = workers
         summary["reproducers"] = []

@@ -12,9 +12,11 @@ order (forward / reverse / shuffle).
 The harness is also an *engine* differential: the reference runs on
 the tree-walking oracle (``engine="tree"``) while every variant runs
 on the closure-compiled engine by default, so each fuzz program
-cross-checks the two execution engines on top of the optimization
-sweep.  Pass ``engine="tree"`` to take the compiled engine out of the
-loop when bisecting a failure.
+cross-checks the execution engines on top of the optimization sweep.
+Pass ``engine="all"`` to run every fast engine (closure-compiled and
+bytecode) over each variant — the three-way differential — or
+``engine="tree"`` to take the fast engines out of the loop when
+bisecting a failure.
 
 Exception classification is the second half of the oracle.  The
 diagnostic types in :data:`CLEAN_REJECTIONS` are the front end doing
@@ -39,7 +41,7 @@ from ..frontend.lower import LoweringError, compile_to_il
 from ..frontend.parser import ParseError
 from ..frontend.preprocessor import PreprocessorError
 from ..frontend.symtab import SymbolError
-from ..interp.interpreter import make_interpreter
+from ..interp.interpreter import ENGINES, make_interpreter
 from ..obs.metrics import MetricsRegistry
 from ..pipeline import CompilerOptions, compile_c
 from .generator import GeneratedProgram, GeneratorOptions, \
@@ -59,6 +61,13 @@ def classify_exception(exc: BaseException) -> str:
     """``"reject"`` for a clean front-end diagnostic, ``"crash"`` for
     anything else (an internal error escaping the compiler)."""
     return "reject" if isinstance(exc, CLEAN_REJECTIONS) else "crash"
+
+
+def resolve_engines(engine: str) -> Tuple[str, ...]:
+    """The engines one ``engine`` selector runs variants on:
+    ``"all"`` means every fast engine, anything else is a single
+    engine name (validated by :func:`make_interpreter` at run time)."""
+    return ENGINES[1:] if engine == "all" else (engine,)
 
 
 # ---------------------------------------------------------------------------
@@ -132,6 +141,11 @@ class DifferentialResult:
     reference: Optional[VariantResult] = None
     variants: List[VariantResult] = field(default_factory=list)
     seed: Optional[int] = None
+    #: Wall time spent executing programs, keyed by engine name
+    #: ("tree" is the reference run).  Deliberately excluded from
+    #: :meth:`to_dict` — wall times are nondeterministic and the
+    #: per-program JSON must stay byte-stable across ``--jobs``.
+    engine_seconds: dict = field(default_factory=dict)
 
     @property
     def failed(self) -> bool:
@@ -172,11 +186,18 @@ class DifferentialResult:
 
 
 def _run_program(program, max_steps: int, order: str = "forward",
-                 engine: str = "compiled") -> int:
+                 engine: str = "compiled",
+                 timings: Optional[dict] = None) -> int:
     interp = make_interpreter(program, engine=engine,
                               max_steps=max_steps,
                               parallel_order=order, seed=7)
-    value = interp.run("main")
+    start = time.perf_counter()
+    try:
+        value = interp.run("main")
+    finally:
+        if timings is not None:
+            timings[engine] = (timings.get(engine, 0.0)
+                               + time.perf_counter() - start)
     return 0 if value is None else int(value)
 
 
@@ -194,9 +215,13 @@ def run_source(source: str, name: str = "<fuzz>",
     tree-walking oracle; a reference-level clean diagnostic classifies
     the whole program as ``reject`` (the variants are then skipped —
     invalid input has no semantics to compare).  ``engine`` selects
-    the execution engine for the *variants* only, so the default
+    the execution engine(s) for the *variants* only, so the default
     configuration differentially tests both the optimizer and the
-    compiled engine against the oracle.
+    compiled engine against the oracle; ``engine="all"`` runs every
+    fast engine over each variant (the three-way differential), and a
+    failing run's variant name carries a ``#engine`` suffix naming
+    the engine that disagreed.  Per-engine wall times accumulate in
+    the result's ``engine_seconds``.
 
     ``check_passes`` compiles every variant with a
     :class:`~repro.check.checker.PassChecker` installed: each pass's
@@ -212,7 +237,8 @@ def run_source(source: str, name: str = "<fuzz>",
     try:
         ref_program = compile_to_il(source, name)
         ref_value = _run_program(ref_program, max_steps,
-                                 engine="tree")
+                                 engine="tree",
+                                 timings=result.engine_seconds)
     except Exception as exc:  # noqa: BLE001 — classification is the point
         status = classify_exception(exc)
         result.status = status
@@ -227,7 +253,8 @@ def run_source(source: str, name: str = "<fuzz>",
     for point_name, options in pts:
         variant = _run_variant(source, name, point_name, options,
                                ref_value, max_steps, engine,
-                               check_passes=check_passes)
+                               check_passes=check_passes,
+                               timings=result.engine_seconds)
         result.variants.append(variant)
     if any(v.status == "crash" for v in result.variants):
         result.status = "crash"
@@ -246,7 +273,8 @@ def _run_variant(source: str, name: str, point_name: str,
                  options: CompilerOptions, ref_value: int,
                  max_steps: int,
                  engine: str = "compiled",
-                 check_passes: bool = False) -> VariantResult:
+                 check_passes: bool = False,
+                 timings: Optional[dict] = None) -> VariantResult:
     checker = None
     hooks: tuple = ()
     if check_passes:
@@ -281,19 +309,27 @@ def _run_variant(source: str, name: str, point_name: str,
     # would be meaningless if we only ever ran them forward.
     orders = ("forward", "reverse", "shuffle") \
         if options.parallelize else ("forward",)
+    engines = resolve_engines(engine)
     for order in orders:
-        try:
-            value = _run_program(compiled.program, max_steps, order,
-                                 engine)
-        except Exception as exc:  # noqa: BLE001
-            return VariantResult(name=f"{point_name}@{order}",
-                                 status="crash", phase="run",
-                                 error_type=type(exc).__name__,
-                                 error=str(exc))
-        if value != ref_value:
-            return VariantResult(name=f"{point_name}@{order}",
-                                 status="divergence", value=value,
-                                 phase="run")
+        for eng in engines:
+            # The engine suffix only appears in multi-engine mode so
+            # single-engine variant names stay stable for existing
+            # reproducers and reducers.
+            label = (f"{point_name}@{order}#{eng}"
+                     if len(engines) > 1
+                     else f"{point_name}@{order}")
+            try:
+                value = _run_program(compiled.program, max_steps,
+                                     order, eng, timings=timings)
+            except Exception as exc:  # noqa: BLE001
+                return VariantResult(name=label,
+                                     status="crash", phase="run",
+                                     error_type=type(exc).__name__,
+                                     error=str(exc))
+            if value != ref_value:
+                return VariantResult(name=label,
+                                     status="divergence", value=value,
+                                     phase="run")
     return VariantResult(name=point_name, status="ok", value=ref_value)
 
 
@@ -308,15 +344,22 @@ def _bisect_first_failure(result: DifferentialResult,
     for variant in result.variants:
         if variant.status == "ok" or variant.culprit is not None:
             continue
-        point_name, _, order = variant.name.partition("@")
+        point_name, _, tail = variant.name.partition("@")
+        order, _, failed_engine = tail.partition("#")
         options = by_name.get(point_name)
         if options is None:
             continue
+        # In "all" mode the #engine suffix names the engine that
+        # disagreed; replay the bisection on that one.  A compile-time
+        # failure has no suffix — any concrete engine will do.
+        if not failed_engine:
+            failed_engine = (resolve_engines(engine)[0]
+                             if engine == "all" else engine)
         report = bisect_source(result.source, options,
                                name=f"{result.name}:{variant.name}",
                                max_steps=max_steps,
                                parallel_order=order or "forward",
-                               engine=engine)
+                               engine=failed_engine)
         variant.culprit = report.to_dict()
         return
 
@@ -335,6 +378,11 @@ class FuzzReport:
     divergences: int = 0
     crashes: int = 0
     failures: List[DifferentialResult] = field(default_factory=list)
+    #: Aggregate wall time per execution engine across every program
+    #: (``"tree"`` is the reference).  Kept out of :meth:`to_dict`:
+    #: the report JSON stays deterministic; the CLI publishes these
+    #: separately as ``summary["engine_timings"]``.
+    engine_seconds: dict = field(default_factory=dict)
 
     @property
     def clean(self) -> bool:
@@ -393,6 +441,9 @@ def fuzz(seed: int, count: int,
         else:
             report.crashes += 1
             report.failures.append(result)
+        for eng, seconds in result.engine_seconds.items():
+            report.engine_seconds[eng] = (
+                report.engine_seconds.get(eng, 0.0) + seconds)
         if registry is not None:
             _observe_result(registry, program, result)
         if on_result is not None:
@@ -497,6 +548,9 @@ def fuzz_parallel(seed: int, count: int, jobs: int,
         merged.divergences += chunk_report.divergences
         merged.crashes += chunk_report.crashes
         merged.failures.extend(chunk_report.failures)
+        for eng, seconds in chunk_report.engine_seconds.items():
+            merged.engine_seconds[eng] = (
+                merged.engine_seconds.get(eng, 0.0) + seconds)
         metrics.merge(snapshot)
         timings.append({"seed": chunk_report.seed,
                         "count": chunk_report.count,

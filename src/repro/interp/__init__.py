@@ -1,22 +1,26 @@
 """Execution engines for the IL.
 
-Two engines share one observable semantics:
+Three engines share one observable semantics:
 
 * :class:`~repro.interp.interpreter.Interpreter` — the tree-walking
   semantic oracle (``engine="tree"``);
 * :class:`~repro.interp.compiled.CompiledInterpreter` — the
-  closure-compiled fast path (``engine="compiled"``).
+  closure-compiled fast path (``engine="compiled"``);
+* :class:`~repro.interp.bytecode.BytecodeInterpreter` — the
+  whole-function Python-codegen tier (``engine="bytecode"``).
 
 Use :func:`~repro.interp.interpreter.make_interpreter` to pick one by
 name.
 """
 
+from .bytecode import BytecodeInterpreter
 from .compiled import CompiledInterpreter
 from .interpreter import (ENGINES, Device, Interpreter, InterpreterError,
                           StepLimitExceeded, make_interpreter, run_c)
 from .memory import Memory, MemoryError_
 
 __all__ = [
+    "BytecodeInterpreter",
     "CompiledInterpreter",
     "Device",
     "ENGINES",

@@ -115,6 +115,23 @@ class TestPassChecker:
         assert "front-end" in table
         assert f"{len(checker.snapshots)} snapshots" in table
 
+    @pytest.mark.parametrize("engine", ("compiled", "bytecode"))
+    def test_fast_engine_outcomes_match_oracle(self, engine):
+        # The checker can replay snapshots on a fast engine; on a
+        # clean compile every per-pass outcome must equal the tree
+        # oracle's (result value AND stdout), and no divergence fires.
+        oracle = PassChecker()
+        compile_c(DAXPY, hooks=(oracle,))
+        fast = PassChecker(engine=engine)
+        compile_c(DAXPY, hooks=(fast,))
+        assert fast.first_divergence() is None
+        assert len(fast.snapshots) == len(oracle.snapshots)
+        for a, b in zip(oracle.snapshots, fast.snapshots):
+            assert (a.outcome is None) == (b.outcome is None), a.label
+            if a.outcome is not None:
+                assert a.outcome.to_dict() == b.outcome.to_dict(), \
+                    a.label
+
 
 class TestOutcomeDiffers:
     def test_value_difference(self):

@@ -88,3 +88,34 @@ void f(float *p, float *q, int n)
         assert main([str(src), "--no-inline", "--fortran-pointers"]) == 0
         fortran = capsys.readouterr().out
         assert "vector" in fortran
+
+
+class TestEngineFlags:
+    def test_run_on_bytecode_engine(self, daxpy_file, capsys):
+        assert main([daxpy_file, "--engine", "bytecode",
+                     "--run", "main"]) == 0
+        out = capsys.readouterr().out
+        assert "a[3]=5.5" in out
+        assert "MFLOPS" in out
+
+    def test_dump_code_without_run(self, daxpy_file, capsys):
+        # --dump-code needs no --run: it disassembles the generated
+        # code straight off the compiled program.
+        assert main([daxpy_file, "--dump-code", "main"]) == 0
+        err = capsys.readouterr().err
+        assert "# generated source for main" in err
+        assert "def _bytecode_fn" in err
+        assert "# CPython bytecode for main" in err
+
+    def test_dump_code_fallback_reports_reason(self, tmp_path, capsys):
+        src = tmp_path / "vol.c"
+        src.write_text("volatile int port;\n"
+                       "int main(void) { port = 1; return 0; }\n")
+        assert main([str(src), "--dump-code", "main"]) == 0
+        err = capsys.readouterr().err
+        assert "closure-tier fallback" in err
+
+    def test_dump_code_unknown_function(self, daxpy_file, capsys):
+        assert main([daxpy_file, "--dump-code", "nope"]) == 1
+        err = capsys.readouterr().err
+        assert "no function named 'nope'" in err

@@ -44,7 +44,7 @@ class TestFactory:
             make_interpreter(program, engine="jit")
 
     def test_engines_tuple(self):
-        assert ENGINES == ("tree", "compiled")
+        assert ENGINES == ("tree", "compiled", "bytecode")
 
 
 class TestObservableParity:

@@ -1,14 +1,20 @@
-"""Differential sweep: compiled engine vs tree-walking oracle.
+"""Differential sweep: every fast engine vs the tree-walking oracle.
 
 Replays the entire ``tests/fuzz_corpus/`` plus a fixed-seed generated
-batch under both execution engines and every parallel iteration
+batch under all execution engines and every parallel iteration
 order, asserting identical return values, stdout, dynamic step
 counts, and cost-event streams (the event stream determines the Titan
 cycle breakdown, so stream equality is the strongest cycle check; one
 test also compares end-to-end :class:`TitanSimulator` cycle totals
 directly).
 
-Each comparison compiles the program ONCE and runs both engines over
+Each engine runs twice per order: once with a cost hook installed
+(the instrumented tier — for the bytecode engine this delegates to
+the closure tier, which the hook-stream assertions pin down) and once
+hook-free, which is the bytecode engine's actual codegen path — a
+hooked-only sweep would never execute a generated function.
+
+Each comparison compiles the program ONCE and runs all engines over
 the same IL object — statement ids are a global counter, so compiling
 twice would produce graphs the shared cost model keys differently.
 """
@@ -46,25 +52,33 @@ def _runnable_corpus():
     return out
 
 
-def _observe(program, engine, order):
-    """(result, stdout, steps, cost events) of one run."""
+def _observe(program, engine, order, hooked=True):
+    """(result, stdout, steps[, cost events]) of one run."""
     events = []
+    kwargs = {}
+    if hooked:
+        kwargs["cost_hook"] = lambda *event: events.append(event)
     interp = make_interpreter(
         program, engine=engine, parallel_order=order, seed=7,
-        max_steps=2_000_000,
-        cost_hook=lambda *event: events.append(event))
+        max_steps=2_000_000, **kwargs)
     result = interp.run("main")
-    return result, interp.stdout, interp.steps, events
+    obs = [result, interp.stdout, interp.steps]
+    if hooked:
+        obs.append(events)
+    return obs
 
 
 def _assert_engines_agree(program, label):
     for order in ORDERS:
-        tree = _observe(program, "tree", order)
-        fast = _observe(program, "compiled", order)
-        for what, a, b in zip(("result", "stdout", "steps", "events"),
-                              tree, fast):
-            assert a == b, (f"{label}@{order}: engines disagree "
-                            f"on {what}")
+        for hooked in (True, False):
+            kinds = ("result", "stdout", "steps", "events")
+            tree = _observe(program, "tree", order, hooked)
+            for engine in ENGINES[1:]:
+                fast = _observe(program, engine, order, hooked)
+                for what, a, b in zip(kinds, tree, fast):
+                    assert a == b, (
+                        f"{label}@{order} hooked={hooked}: {engine} "
+                        f"disagrees with tree on {what}")
 
 
 @pytest.mark.parametrize("name,source",
@@ -104,9 +118,11 @@ def test_titan_cycle_totals_identical():
         sim = TitanSimulator(program, TitanConfig(),
                              use_scheduler=False, engine=engine)
         reports[engine] = sim.run("main")
-    tree, fast = reports["tree"], reports["compiled"]
-    assert fast.cycles == tree.cycles
-    assert fast.counters == tree.counters
-    assert fast.breakdown == tree.breakdown
-    assert fast.result == tree.result
-    assert fast.stdout == tree.stdout
+    tree = reports["tree"]
+    for engine in ENGINES[1:]:
+        fast = reports[engine]
+        assert fast.cycles == tree.cycles, engine
+        assert fast.counters == tree.counters, engine
+        assert fast.breakdown == tree.breakdown, engine
+        assert fast.result == tree.result, engine
+        assert fast.stdout == tree.stdout, engine

@@ -21,7 +21,8 @@ import pytest
 from repro.fuzz import (CLEAN_REJECTIONS, GeneratorOptions,
                         classify_exception, fuzz, fuzz_parallel,
                         generate_program, option_points,
-                        reduce_source, run_source, seed_chunks)
+                        reduce_source, resolve_engines, run_source,
+                        seed_chunks)
 from repro.frontend.lexer import LexError
 from repro.frontend.parser import ParseError
 from repro.obs.metrics import MetricsRegistry
@@ -136,6 +137,25 @@ class TestRunSource:
         assert result.reference.value == 42
         assert all(v.value == 42 for v in result.variants)
 
+    def test_resolve_engines(self):
+        assert resolve_engines("all") == ("compiled", "bytecode")
+        assert resolve_engines("compiled") == ("compiled",)
+        assert resolve_engines("bytecode") == ("bytecode",)
+        assert resolve_engines("tree") == ("tree",)
+
+    def test_all_engines_three_way(self):
+        # engine="all" runs every fast engine over each variant and
+        # accounts wall time to all three engines (the reference runs
+        # on the tree oracle).
+        result = run_source("int main(void) { int i; int s; s = 0; "
+                            "for (i = 0; i < 9; i++) s = s + i; "
+                            "return s; }\n", engine="all")
+        assert result.status == "ok"
+        assert all(v.value == 36 for v in result.variants)
+        assert set(result.engine_seconds) == \
+            {"tree", "compiled", "bytecode"}
+        assert all(s > 0 for s in result.engine_seconds.values())
+
 
 class TestReducer:
     def test_reduces_to_failing_core(self):
@@ -169,6 +189,12 @@ class TestCLI:
         assert summary["count"] == 2
         assert summary["divergences"] == 0
         assert summary["crashes"] == 0
+        # The default batch is the three-way differential, and the
+        # summary carries aggregate per-engine wall times.
+        assert summary["engine"] == "all"
+        assert set(summary["engine_timings"]) == \
+            {"tree", "compiled", "bytecode"}
+        assert all(s > 0 for s in summary["engine_timings"].values())
 
     def test_replay_corpus_file(self):
         path = os.path.join(CORPUS_DIR, "global_string_init.c")
@@ -209,6 +235,7 @@ class TestCLI:
         for doc in (seq, par):
             doc.pop("jobs")
             doc.pop("workers", None)
+            doc.pop("engine_timings")  # wall clock, like workers
         assert json.dumps(par, sort_keys=True) == \
             json.dumps(seq, sort_keys=True)
 

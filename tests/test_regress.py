@@ -305,7 +305,7 @@ class TestCommittedBaselines:
 
     def test_baselines_present_and_versioned(self, regress):
         docs = regress.load_benches(regress.BASELINE_DIR)
-        assert len(docs) == 16
+        assert len(docs) == 17
         for name, doc in docs.items():
             assert doc["schema"] == regress.BENCH_SCHEMA
             assert doc["variants"], name
@@ -347,6 +347,18 @@ class TestCommittedBaselines:
         assert attrib["attrib_steps_daxpy"] > 0
         assert attrib["attrib_steps_backsolve"] > 0
         assert attrib["host_attrib_speedup"] > 0.6
+
+    def test_bytecode_speedups_recorded(self, regress):
+        # The E17 acceptance criterion: >=2x bytecode-vs-closure on
+        # backsolve and daxpy, with the raw per-engine rates riding
+        # along as trend telemetry.
+        docs = regress.load_benches(regress.BASELINE_DIR)
+        variants = docs["e17_bytecode"]["variants"]
+        for workload in ("backsolve", "daxpy"):
+            speedup = variants[workload]["host_bytecode_speedup_steps"]
+            assert speedup >= 2.0, (workload, speedup)
+            assert variants[workload]["host_bytecode_steps_per_sec"] \
+                > variants[workload]["host_compiled_steps_per_sec"]
 
     def test_ifconvert_speedups_recorded(self, regress):
         # The E16 acceptance criterion: both formerly control-flow-
