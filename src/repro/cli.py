@@ -46,7 +46,16 @@ def build_arg_parser() -> argparse.ArgumentParser:
         description="Vectorizing, parallelizing, inlining C compiler "
                     "targeting a simulated Ardent Titan (Allen & "
                     "Johnson, PLDI 1988).")
-    parser.add_argument("source", help="C source file")
+    parser.add_argument("source", nargs="?",
+                        help="C source file (omit with --serve)")
+    parser.add_argument("--serve", action="store_true",
+                        help="run as a compilation service instead of "
+                             "compiling one file: JSONL compile "
+                             "requests in, schema-validated responses "
+                             "out, with a content-addressed two-level "
+                             "cache.  Remaining arguments go to the "
+                             "service (see python -m repro.service "
+                             "--help)")
     parser.add_argument("--dump-stages", action="store_true",
                         help="print the IL after every pipeline stage")
     parser.add_argument("--no-inline", action="store_true")
@@ -183,8 +192,17 @@ def options_from_args(args: argparse.Namespace) -> CompilerOptions:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if "--serve" in argv:
+        # Service mode owns its own argument set; everything except
+        # the flag itself passes through.
+        from .service.__main__ import main as serve_main
+        argv.remove("--serve")
+        return serve_main(argv)
     parser = build_arg_parser()
     args = parser.parse_args(argv)
+    if args.source is None:
+        parser.error("source is required unless --serve is given")
     if args.profile and not args.run:
         parser.error("--profile requires --run ENTRY")
     # Structured diagnostics: notices/warnings/errors go through the
@@ -210,10 +228,16 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     database: Optional[InlineDatabase] = None
     if args.use_db:
+        # Databases load through the process-global catalog cache,
+        # keyed by file *content* hash: repeated invocations in one
+        # process (test suites, the service, tooling that drives
+        # main() in a loop) unpickle each distinct database once
+        # instead of rebuilding the catalog every time.
+        from .service.cache import load_database
         database = InlineDatabase()
         origin = {}  # procedure name -> database path it came from
         for path in args.use_db:
-            loaded = InlineDatabase.load(path)
+            loaded = load_database(path)
             for name in loaded.entries:
                 if name in origin:
                     log.warning(

@@ -30,7 +30,6 @@ robustness property in ``tests/test_properties.py`` enforces.
 from __future__ import annotations
 
 import dataclasses
-import multiprocessing
 import time
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Sequence, Tuple
@@ -42,6 +41,7 @@ from ..frontend.parser import ParseError
 from ..frontend.preprocessor import PreprocessorError
 from ..frontend.symtab import SymbolError
 from ..interp.interpreter import ENGINES, make_interpreter
+from ..jobs import TaskOutcome, run_ordered
 from ..obs.metrics import MetricsRegistry
 from ..pipeline import CompilerOptions, compile_c
 from .generator import GeneratedProgram, GeneratorOptions, \
@@ -485,17 +485,17 @@ def seed_chunks(seed: int, count: int, jobs: int
     return chunks
 
 
-def _fuzz_worker(task: tuple) -> Tuple[FuzzReport, float, dict]:
-    """Pool entry point: run one seed chunk, report its wall time and
-    its metrics-registry snapshot (deterministic observations only)."""
+def _fuzz_worker(task: tuple) -> Tuple[FuzzReport, dict]:
+    """Pool entry point: run one seed chunk and return its report plus
+    its metrics-registry snapshot (deterministic observations only).
+    Wall time comes from the jobs layer (:class:`TaskOutcome`)."""
     (seed, count, generator_options, points, max_steps,
      engine, check_passes) = task
     registry = MetricsRegistry()
-    start = time.perf_counter()
     report = fuzz(seed, count, generator_options=generator_options,
                   points=points, max_steps=max_steps, engine=engine,
                   check_passes=check_passes, registry=registry)
-    return report, time.perf_counter() - start, registry.to_dict()
+    return report, registry.to_dict()
 
 
 def fuzz_parallel(seed: int, count: int, jobs: int,
@@ -521,36 +521,38 @@ def fuzz_parallel(seed: int, count: int, jobs: int,
     each worker finishes (completion order), for progress reporting.
     """
     chunks = seed_chunks(seed, count, jobs)
-    finished: List[Tuple[FuzzReport, float, dict]] = []
-    if len(chunks) <= 1:
-        finished.append(_fuzz_worker(
-            (seed, count, generator_options, points, max_steps,
-             engine, check_passes)))
-        if on_chunk is not None:
-            on_chunk(finished[0][0], finished[0][1])
-    else:
-        tasks = [(start, size, generator_options, points, max_steps,
-                  engine, check_passes) for start, size in chunks]
-        with multiprocessing.get_context().Pool(len(tasks)) as pool:
-            for chunk_report, seconds, snapshot in pool.imap_unordered(
-                    _fuzz_worker, tasks):
-                if on_chunk is not None:
-                    on_chunk(chunk_report, seconds)
-                finished.append((chunk_report, seconds, snapshot))
-    finished.sort(key=lambda entry: entry[0].seed)
+    tasks = [(start, size, generator_options, points, max_steps,
+              engine, check_passes) for start, size in chunks]
+
+    def completed(outcome: TaskOutcome) -> None:
+        if on_chunk is not None and outcome.ok:
+            on_chunk(outcome.value[0], outcome.seconds)
+
+    outcomes = run_ordered(_fuzz_worker, tasks, jobs=len(chunks),
+                           on_complete=completed)
+    for outcome in outcomes:
+        if not outcome.ok:
+            # A worker *function* failure is a harness bug, not a fuzz
+            # finding — surface it loudly rather than under-counting.
+            raise RuntimeError(
+                f"fuzz worker for chunk {chunks[outcome.index]} "
+                f"failed: {outcome.error['type']}: "
+                f"{outcome.error['message']}")
 
     merged = FuzzReport(seed=seed, count=count)
     metrics = MetricsRegistry()
     timings: List[dict] = []
-    for chunk_report, seconds, snapshot in finished:
+    for outcome in outcomes:
+        (chunk_report, snapshot), seconds = outcome.value, \
+            outcome.seconds
         merged.ok += chunk_report.ok
         merged.rejected += chunk_report.rejected
         merged.divergences += chunk_report.divergences
         merged.crashes += chunk_report.crashes
         merged.failures.extend(chunk_report.failures)
-        for eng, seconds in chunk_report.engine_seconds.items():
+        for eng, eng_seconds in chunk_report.engine_seconds.items():
             merged.engine_seconds[eng] = (
-                merged.engine_seconds.get(eng, 0.0) + seconds)
+                merged.engine_seconds.get(eng, 0.0) + eng_seconds)
         metrics.merge(snapshot)
         timings.append({"seed": chunk_report.seed,
                         "count": chunk_report.count,

@@ -265,6 +265,23 @@ class Iota(Expr):
 _sid_counter = itertools.count(1)
 
 
+def reset_sids(start: int = 1) -> None:
+    """Rewind the process-global statement-id counter.
+
+    Sids only need to be unique *within* a program, but because they
+    come from a process-global counter, the sids a compile produces —
+    and with them every report byte that embeds one — depend on how
+    many statements the process parsed before.  Callers that promise
+    byte-deterministic output for a single compile (the compilation
+    service) reset the counter before the front-end parse so the same
+    source always yields the same sids, exactly as in a fresh
+    process.  Statements cloned afterwards (e.g. database imports
+    during inlining) draw fresh sids from the reset sequence, which is
+    equally deterministic."""
+    global _sid_counter
+    _sid_counter = itertools.count(start)
+
+
 @dataclass(eq=False)
 class Stmt:
     """Base class of IL statements.  ``sid`` is a stable identity used

@@ -1649,10 +1649,10 @@ class BytecodeInterpreter(CompiledInterpreter):
 
     # -- debugging ---------------------------------------------------------
 
-    def disassemble(self, name: str) -> str:
-        """Generated source + CPython disassembly for one function
-        (the CLI's ``--dump-code``); fallback functions report why
-        they have no generated bytecode."""
+    def _entry_for(self, name: str):
+        """Materialize (and cache) the codegen entry for one function
+        without executing it — the shared path under
+        :meth:`disassemble` and :meth:`generated_code`."""
         fn = self.program.functions.get(name)
         if fn is None:
             raise InterpreterError(f"no function named {name!r}")
@@ -1666,6 +1666,25 @@ class BytecodeInterpreter(CompiledInterpreter):
                 setattr(fn, _CACHE_ATTR, entry)
             except (AttributeError, TypeError):
                 pass
+        return entry
+
+    def generated_code(self, name: str) -> Dict[str, object]:
+        """One function's codegen outcome as data (the compilation
+        service's engine-artifact probe): ``{"tier": "bytecode",
+        "source": ...}`` for generated functions, ``{"tier":
+        "closure", "reason": ...}`` for fallbacks.  Deterministic for
+        a given program, so it is safe inside content-addressed cache
+        payloads."""
+        entry = self._entry_for(name)
+        if isinstance(entry, _FallbackEntry):
+            return {"tier": "closure", "reason": entry.reason}
+        return {"tier": "bytecode", "source": entry.source}
+
+    def disassemble(self, name: str) -> str:
+        """Generated source + CPython disassembly for one function
+        (the CLI's ``--dump-code``); fallback functions report why
+        they have no generated bytecode."""
+        entry = self._entry_for(name)
         if isinstance(entry, _FallbackEntry):
             return (f"{name}: no generated bytecode "
                     f"(closure-tier fallback: {entry.reason})\n")

@@ -1,0 +1,14 @@
+"""Shared multiprocess job layer.
+
+One worker-pool idiom for every fan-out in the repo: tasks go out to a
+process pool, results come back tagged with their submission index and
+their in-worker wall time, and the caller gets them back **in
+submission order** no matter how the workers were scheduled — the
+merge-in-order discipline the parallel fuzz driver pioneered
+(byte-identical summaries for any worker count), now consumed by both
+the fuzzer and the compilation service.
+"""
+
+from .pool import TaskOutcome, WorkerPool, run_ordered
+
+__all__ = ["TaskOutcome", "WorkerPool", "run_ordered"]

@@ -1,0 +1,140 @@
+"""Ordered-merge worker pools (the shared ``jobs`` layer).
+
+Extracted from the parallel fuzz driver (``repro.fuzz.harness``),
+whose worker-pool + merge-in-order machinery turned out to be exactly
+what a long-running compilation service needs too.  The contract:
+
+* Tasks are submitted as a sequence; each is executed by a
+  module-level, picklable ``worker(task)`` function.
+* Execution may be inline (``jobs <= 1`` or a single task) or fanned
+  out over a ``multiprocessing`` pool — the caller cannot tell the
+  difference from the results.
+* Every task yields a :class:`TaskOutcome` carrying the submission
+  index, the worker function's return value, the **in-worker** wall
+  time (unpickling and queueing excluded), and — when the worker
+  function raised — a structured error record instead of a value, so
+  one poisoned task can never take down the batch or wedge the pool.
+* ``map_ordered`` returns outcomes sorted back into submission order;
+  an optional ``on_complete`` callback fires in *completion* order for
+  progress reporting.  Determinism rule: derive artifacts from the
+  returned list, never from callback order.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+import traceback
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+
+@dataclass
+class TaskOutcome:
+    """One task's result envelope."""
+
+    #: Position in the submitted task sequence (merge key).
+    index: int
+    #: The worker function's return value (``None`` after an error).
+    value: object = None
+    #: Wall seconds spent inside ``worker(task)`` in the worker
+    #: process — comparable across inline and pooled execution.
+    seconds: float = 0.0
+    #: ``None`` on success, else ``{"type", "message", "traceback"}``
+    #: describing the exception the worker function raised.
+    error: Optional[dict] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+def _execute(worker: Callable, index: int, task: object) -> TaskOutcome:
+    """Run one task, capturing wall time and any exception.  This is
+    the *entire* per-task contract; the pool entry point below is just
+    this plus argument unpacking."""
+    start = time.perf_counter()
+    try:
+        value = worker(task)
+    except Exception as exc:
+        return TaskOutcome(
+            index=index, seconds=time.perf_counter() - start,
+            error={"type": type(exc).__name__, "message": str(exc),
+                   "traceback": traceback.format_exc()})
+    return TaskOutcome(index=index, value=value,
+                       seconds=time.perf_counter() - start)
+
+
+def _pool_entry(packed) -> TaskOutcome:
+    """Module-level pool target (must be picklable)."""
+    worker, index, task = packed
+    return _execute(worker, index, task)
+
+
+class WorkerPool:
+    """A reusable ordered-merge pool.
+
+    ``jobs <= 1`` means inline execution in the calling process (no
+    pool is ever created); otherwise a ``multiprocessing`` pool of
+    ``jobs`` processes is created lazily on first parallel batch and
+    reused across batches until :meth:`close`.
+    """
+
+    def __init__(self, jobs: int = 1, context=None):
+        self.jobs = max(0, int(jobs))
+        self._ctx = context or multiprocessing.get_context()
+        self._pool = None
+
+    @property
+    def parallel(self) -> bool:
+        return self.jobs > 1
+
+    def map_ordered(self, worker: Callable, tasks: Sequence[object],
+                    on_complete: Optional[Callable[[TaskOutcome], None]]
+                    = None) -> List[TaskOutcome]:
+        """Run every task through ``worker``; return outcomes in
+        submission order.  ``on_complete`` fires in completion order as
+        each outcome lands in the parent."""
+        tasks = list(tasks)
+        if not tasks:
+            return []
+        if not self.parallel or len(tasks) == 1:
+            outcomes = []
+            for index, task in enumerate(tasks):
+                outcome = _execute(worker, index, task)
+                if on_complete is not None:
+                    on_complete(outcome)
+                outcomes.append(outcome)
+            return outcomes
+        if self._pool is None:
+            self._pool = self._ctx.Pool(self.jobs)
+        finished: List[TaskOutcome] = []
+        packed = [(worker, index, task)
+                  for index, task in enumerate(tasks)]
+        for outcome in self._pool.imap_unordered(_pool_entry, packed):
+            if on_complete is not None:
+                on_complete(outcome)
+            finished.append(outcome)
+        finished.sort(key=lambda entry: entry.index)
+        return finished
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.close()
+            self._pool.join()
+            self._pool = None
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def run_ordered(worker: Callable, tasks: Sequence[object],
+                jobs: int = 1,
+                on_complete: Optional[Callable[[TaskOutcome], None]]
+                = None) -> List[TaskOutcome]:
+    """One-shot :meth:`WorkerPool.map_ordered` with pool teardown."""
+    with WorkerPool(jobs) as pool:
+        return pool.map_ordered(worker, tasks, on_complete)

@@ -64,6 +64,7 @@ class SessionData:
         self.directory = directory
         self.spans: List[dict] = []
         self.workers: List[dict] = []
+        self.service_workers: List[dict] = []
         self.summary: Optional[dict] = None
         self.metrics = MetricsRegistry()
         self.benches: List[dict] = []
@@ -87,6 +88,8 @@ class SessionData:
                         self.spans.append(event)
                     elif kind == "worker":
                         self.workers.append(event)
+                    elif kind == "service_worker":
+                        self.service_workers.append(event)
                     elif kind == "metrics":
                         self.metrics.merge(event.get("metrics") or {})
         summary_path = os.path.join(self.directory, "summary.json")
@@ -187,6 +190,37 @@ class SessionData:
             count = float(entry.get("count") or 0.0)
             rate = count / seconds if seconds > 0 else 0.0
             rows.append((f"seed {entry.get('seed')}", rate, entry))
+        return rows
+
+    def service_requests(self) -> List[Tuple[str, int]]:
+        """``(status, count)`` from the service request counters."""
+        out = []
+        for name, key, metric in self.metrics:
+            if name == "titancc_service_requests_total":
+                out.append((dict(key).get("status", "?"),
+                            int(metric.value)))
+        return sorted(out, key=lambda kv: -kv[1])
+
+    def service_cache_events(self) -> List[Tuple[str, Dict[str, int]]]:
+        """``(level, {event: count})`` for the two cache levels."""
+        rows: Dict[str, Dict[str, int]] = {}
+        for name, key, metric in self.metrics:
+            if name != "titancc_service_cache_events_total":
+                continue
+            labels = dict(key)
+            rows.setdefault(labels.get("level", "?"), {})[
+                labels.get("event", "?")] = int(metric.value)
+        return sorted(rows.items())
+
+    def service_worker_throughput(self) -> List[Tuple[str, float,
+                                                      dict]]:
+        """``(label, requests/sec, raw entry)`` per service worker."""
+        rows = []
+        for entry in self.service_workers:
+            seconds = float(entry.get("seconds") or 0.0)
+            count = float(entry.get("requests") or 0.0)
+            rate = count / seconds if seconds > 0 else 0.0
+            rows.append((f"pid {entry.get('pid')}", rate, entry))
         return rows
 
     def speedup_trends(self) -> List[Tuple[str, List[float]]]:
@@ -559,6 +593,57 @@ def render(data: SessionData) -> str:
         sections.append(
             "<h2>Fuzz outcomes</h2>"
             + _table(("status", "programs"), outcomes))
+
+    # Compilation service: request counters, cache hit rates, and
+    # per-worker throughput from the service's telemetry export.
+    service_requests = data.service_requests()
+    cache_events = data.service_cache_events()
+    if service_requests or cache_events:
+        total_requests = sum(count for _, count in service_requests)
+        service_stats = []
+        if total_requests:
+            service_stats.append(_stat(f"{total_requests:,}",
+                                       "service requests"))
+        artifact = dict(cache_events).get("artifact", {})
+        lookups = artifact.get("hit", 0) + artifact.get("miss", 0)
+        if lookups:
+            rate = 100.0 * artifact.get("hit", 0) / lookups
+            service_stats.append(_stat(f"{rate:.0f}%",
+                                       "artifact cache hit rate"))
+        parts = ["<h2>Compilation service</h2>"]
+        if service_stats:
+            parts.append(
+                f"<div class='stats'>{''.join(service_stats)}</div>")
+        if service_requests:
+            parts.append(_table(("status", "requests"),
+                                service_requests))
+        if cache_events:
+            events = sorted({event for _, counts in cache_events
+                             for event in counts})
+            parts.append(
+                "<p class='sub'>cache events per level (content-"
+                "addressed: catalog = parsed-IL procedures by source "
+                "hash, artifact = compiled payloads by IL hash + "
+                "options fingerprint)</p>"
+                + _table(("level",) + tuple(events),
+                         [(level,) + tuple(counts.get(e, 0)
+                                           for e in events)
+                          for level, counts in cache_events]))
+        service_workers = data.service_worker_throughput()
+        if service_workers:
+            rows = [(label, rate,
+                     f"{label}: {entry.get('requests')} request(s) "
+                     f"in {_fmt(float(entry.get('seconds') or 0))}s")
+                    for label, rate, entry in service_workers]
+            parts.append(
+                "<p class='sub'>dispatched requests per second, one "
+                "bar per worker process</p>"
+                + _bar_chart(rows, " req/s")
+                + _table(("worker", "requests", "seconds"),
+                         [(label, entry.get("requests"),
+                           _fmt(float(entry.get("seconds") or 0)))
+                          for label, _, entry in service_workers]))
+        sections.append("".join(parts))
 
     # Engine speedup trends.
     trends = data.speedup_trends()

@@ -50,6 +50,11 @@ ATTRIB = "titancc-attrib/1"
 #: Structured diffs of two reports or two bench documents
 #: (``python -m repro.obs.diff``, ``regress.py --explain``).
 REPORTDIFF = "titancc-reportdiff/1"
+#: Compilation-service response envelopes (``python -m repro.service``
+#: JSONL stream and the in-process client API).  The ``payload``
+#: carries a canonicalized ``titancc-report/3`` plus the listing,
+#: simulation results, and engine artifact.
+SERVICE = "titancc-service/1"
 
 #: tag -> (description, required top-level keys).  ``validate_document``
 #: checks the keys; producers and the schema test iterate the registry.
@@ -72,6 +77,8 @@ REGISTERED: Dict[str, Tuple[str, Tuple[str, ...]]] = {
     REPORTDIFF: ("report/bench diff",
                  ("schema", "kind", "base", "other", "classified",
                   "summary")),
+    SERVICE: ("compilation-service response",
+              ("schema", "id", "status", "cache", "payload", "error")),
 }
 
 

@@ -1,0 +1,209 @@
+"""Per-request compile execution — the service's worker half.
+
+:func:`execute_request` is a module-level, picklable function (the
+jobs-layer contract) that turns one :class:`CompileRequest` into one
+response envelope.  It never lets a per-request failure escape: front
+end diagnostics become ``kind: "reject"`` error responses, anything
+else escaping the compiler becomes ``kind: "crash"`` (the fuzz
+harness's classification), and the pool lives on either way.
+
+The compile itself mirrors ``TitanCompiler.compile`` exactly — same
+tracer spans, same spans' args — but runs the front end separately so
+the parsed IL can be hashed (the level-B cache key) before the
+pipeline mutates it in place.  A request payload is therefore
+byte-identical to what the CLI's direct path produces after
+canonicalization, which is what makes artifact-cache hits
+observationally invisible.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Optional
+
+from ..frontend.lower import compile_to_il
+from ..il import nodes as N
+from ..il.printer import format_program
+from ..inline.database import InlineDatabase
+from ..interp import make_interpreter
+from ..obs.report import CompilationReport
+from ..obs.trace import PassTracer
+from ..pipeline import TitanCompiler, _program_statements
+from ..titan.config import TitanConfig
+from ..titan.simulator import TitanSimulator
+from .cache import CatalogEntry, build_catalog, content_hash, \
+    options_fingerprint
+from .protocol import (CompileRequest, ServiceError, canonicalize_report,
+                       error_response, make_response)
+
+
+def request_fingerprint(request: CompileRequest,
+                        db_shas) -> str:
+    """The level-B "options fingerprint": every request fact beyond
+    the source text that can change the payload — full compiler
+    options, filename (reports embed it), simulation entry/engine/step
+    budget, and the content hashes of the inline databases."""
+    return options_fingerprint(request.options, extra={
+        "filename": request.filename,
+        "run": request.run,
+        "engine": request.engine,
+        "max_steps": request.max_steps,
+        "db": list(db_shas),
+    })
+
+
+def _classify(exc: BaseException) -> str:
+    from ..fuzz.harness import classify_exception
+    return classify_exception(exc)
+
+
+def _artifact_section(result, request: CompileRequest) -> dict:
+    """The compiled-engine artifact: for the bytecode tier, each
+    function's generated Python source (or its closure-tier fallback
+    reason); for the other engines, per-function closure metadata.
+    Deterministic — it ships inside the cached payload."""
+    functions: Dict[str, dict] = {}
+    program = result.program
+    if request.engine == "bytecode":
+        interp = make_interpreter(program, engine="bytecode")
+        for name in sorted(program.functions):
+            functions[name] = interp.generated_code(name)
+    else:
+        for name in sorted(program.functions):
+            fn = program.functions[name]
+            functions[name] = {
+                "tier": "closure",
+                "params": len(fn.params),
+                "statements": len(list(fn.all_statements())),
+            }
+    return {"engine": request.engine, "functions": functions}
+
+
+def compile_payload(request: CompileRequest,
+                    catalogs: Optional[Dict[str, CatalogEntry]] = None
+                    ) -> dict:
+    """Compile one request into its deterministic payload.  Raises on
+    failure (callers classify); ``catalogs`` maps content hashes to
+    pre-built §7 catalogs for the request's ``db_sources`` — any
+    missing ones are built here."""
+    catalogs = catalogs or {}
+    database = None
+    db_shas = []
+    for db_source in request.db_sources:
+        sha = content_hash(db_source)
+        db_shas.append(sha)
+        entry = catalogs.get(sha)
+        if entry is None:
+            try:
+                entry = build_catalog(db_source)
+            except Exception as exc:
+                exc._titancc_phase = "catalog"
+                raise
+        if database is None:
+            database = InlineDatabase()
+        database.entries.update(entry.database().entries)
+
+    # Front end split out of TitanCompiler.compile (same span, same
+    # args) so the parsed IL is hashable before optimization.  Sids
+    # rewind first: the payload must not depend on what this process
+    # parsed earlier (catalog builds included), so every compile sees
+    # the counter state a fresh ``titancc`` process would.
+    N.reset_sids()
+    tracer = PassTracer()
+    try:
+        with tracer.span("front-end") as args:
+            program = compile_to_il(request.source, request.filename)
+            args["statements"] = _program_statements(program)
+            args["functions"] = len(program.functions)
+    except Exception as exc:
+        # Phase tag for error responses: the server's prepare pass
+        # reports front-end failures as phase="frontend", so the
+        # direct path must classify identically (the transparency
+        # battery diffs the two).
+        exc._titancc_phase = "frontend"
+        raise
+    # Line annotations are part of the hash — see build_catalog.
+    il_sha = content_hash(format_program(program, show_lines=True))
+
+    compiler = TitanCompiler(request.options, database)
+    result = compiler.compile_program(program,
+                                      filename=request.filename,
+                                      tracer=tracer)
+
+    config = TitanConfig(
+        processors=request.options.processors,
+        max_vector_length=request.options.vector_length)
+    titan_report = None
+    run_section = None
+    if request.run:
+        simulator = TitanSimulator(result.program, config,
+                                   schedules=result.schedules or None,
+                                   max_steps=request.max_steps,
+                                   engine=request.engine)
+        titan_report = simulator.run(request.run)
+        run_section = {
+            "entry": request.run,
+            "engine": request.engine,
+            "result": titan_report.result,
+            "cycles": titan_report.cycles,
+            "seconds": titan_report.seconds,
+            "mflops": titan_report.mflops,
+            "stdout": titan_report.stdout,
+        }
+
+    report = CompilationReport.from_result(
+        result, filename=request.filename, titan_report=titan_report,
+        config=config)
+    # No source hash here, deliberately: the payload is a pure
+    # function of (front-end IL, options fingerprint) — per-request
+    # provenance lives in the response envelope's cache metadata, so
+    # whitespace-variant sources sharing an artifact still each see
+    # their own source hash.
+    return {
+        "filename": request.filename,
+        "il_sha256": il_sha,
+        "options_fingerprint": request_fingerprint(request, db_shas),
+        "catalog": {"db_sources": db_shas},
+        "report": canonicalize_report(report.to_dict()),
+        "listing": format_program(result.program),
+        "run": run_section,
+        "artifact": _artifact_section(result, request),
+    }
+
+
+def execute_request(request, catalogs=None, cache=None) -> dict:
+    """The full per-request contract: request (dict or
+    :class:`CompileRequest`) in, response envelope out, exceptions
+    never.  This is both the in-process direct path (what the
+    transparency tests diff against) and the body of the pool task."""
+    request_id = request.get("id") if isinstance(request, dict) \
+        else getattr(request, "id", None)
+    try:
+        request = CompileRequest.from_dict(request)
+    except ServiceError as exc:
+        return error_response(request_id, exc, phase="request",
+                              kind="invalid", cache=cache)
+    cache = dict(cache) if cache else \
+        {"catalog": None, "artifact": None}
+    cache.setdefault("source_sha256", content_hash(request.source))
+    try:
+        payload = compile_payload(request, catalogs)
+    except ServiceError as exc:
+        return error_response(request.id, exc, phase="request",
+                              kind="invalid", cache=cache)
+    except Exception as exc:
+        phase = getattr(exc, "_titancc_phase", "compile")
+        return error_response(request.id, exc, phase=phase,
+                              kind=_classify(exc), cache=cache)
+    return make_response(request.id, "ok", payload=payload,
+                         cache=cache)
+
+
+def pool_task(task: dict) -> dict:
+    """Jobs-layer entry point: ``{"request": CompileRequest,
+    "catalogs": {sha: CatalogEntry}}`` in, response plus a private
+    ``_worker`` stamp (stripped by the server) out."""
+    response = execute_request(task["request"],
+                               catalogs=task.get("catalogs"))
+    response["_worker"] = {"pid": os.getpid()}
+    return response

@@ -72,6 +72,43 @@ class TestCLI:
         out = capsys.readouterr().out
         assert "/* vector */" in out  # inlined + vectorized
 
+    def test_use_db_builds_catalog_once_per_content(self, tmp_path,
+                                                    capsys):
+        # Regression: --use-db used to rebuild its procedure catalog
+        # on every invocation.  It now routes through the process-
+        # global content-addressed catalog cache, so driving main() in
+        # a loop unpickles each distinct database exactly once.
+        from repro.service.cache import GLOBAL_CATALOGS
+        lib = tmp_path / "lib.c"
+        lib.write_text(blas.MATH_LIBRARY_C)
+        db_path = str(tmp_path / "lib.ildb")
+        assert main([str(lib), "--make-db", db_path]) == 0
+        client = tmp_path / "client.c"
+        client.write_text(blas.library_client(n=32))
+        capsys.readouterr()
+
+        GLOBAL_CATALOGS.clear()
+        try:
+            assert main([str(client), "--use-db", db_path]) == 0
+            first = capsys.readouterr().out
+            assert GLOBAL_CATALOGS.builds == 1
+            assert main([str(client), "--use-db", db_path]) == 0
+            second = capsys.readouterr().out
+            assert GLOBAL_CATALOGS.builds == 1  # cached, not rebuilt
+            assert GLOBAL_CATALOGS.lru.hits == 1
+            assert first == second
+            assert "/* vector */" in first
+            # A byte-identical copy at another path is the same key.
+            copy_path = str(tmp_path / "copy.ildb")
+            with open(db_path, "rb") as src_handle:
+                blob = src_handle.read()
+            with open(copy_path, "wb") as dst_handle:
+                dst_handle.write(blob)
+            assert main([str(client), "--use-db", copy_path]) == 0
+            assert GLOBAL_CATALOGS.builds == 1
+        finally:
+            GLOBAL_CATALOGS.clear()
+
     def test_fortran_pointers_flag(self, tmp_path, capsys):
         src = tmp_path / "ptr.c"
         src.write_text("""

@@ -149,6 +149,56 @@ class TestSessionData:
                    and a["metric"] == "cycles" for a in anomalies)
 
 
+@pytest.fixture
+def service_session(tmp_path):
+    """A session directory holding a compilation-service telemetry
+    export (what ``python -m repro.service --events-jsonl`` writes)."""
+    registry = MetricsRegistry()
+    registry.counter("titancc_service_requests_total",
+                     {"status": "ok"}).inc(7)
+    registry.counter("titancc_service_requests_total",
+                     {"status": "error"}).inc(1)
+    for event, count in (("hit", 6), ("miss", 2), ("evict", 1)):
+        registry.counter("titancc_service_cache_events_total",
+                         {"level": "artifact",
+                          "event": event}).inc(count)
+    registry.counter("titancc_service_cache_events_total",
+                     {"level": "catalog", "event": "miss"}).inc(2)
+    write_events(tmp_path, [
+        {"type": "service_worker", "pid": 101, "requests": 2,
+         "seconds": 1.0},
+        {"type": "service_worker", "pid": 102, "requests": 4,
+         "seconds": 1.0},
+        {"type": "metrics", "metrics": registry.to_dict()},
+    ])
+    return tmp_path
+
+
+class TestServicePanel:
+    def test_derived_views(self, service_session):
+        data = SessionData(str(service_session))
+        assert data.service_requests() == [("ok", 7), ("error", 1)]
+        events = dict(data.service_cache_events())
+        assert events["artifact"] == {"hit": 6, "miss": 2,
+                                      "evict": 1}
+        assert events["catalog"] == {"miss": 2}
+        throughput = data.service_worker_throughput()
+        assert [(label, rate) for label, rate, _ in throughput] == \
+            [("pid 101", 2.0), ("pid 102", 4.0)]
+
+    def test_panel_renders(self, service_session):
+        html = render(SessionData(str(service_session)))
+        assert "Compilation service" in html
+        assert "service requests" in html
+        # 6 hits / 8 lookups = 75%.
+        assert "75%" in html
+        assert "pid 102" in html
+
+    def test_absent_without_service_metrics(self, session):
+        assert "Compilation service" not in \
+            render(SessionData(str(session)))
+
+
 class TestRender:
     def test_all_sections_present(self, session):
         html = render(SessionData(str(session)))

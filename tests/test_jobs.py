@@ -1,0 +1,111 @@
+"""Tests for the shared ordered-merge jobs layer (``repro.jobs``).
+
+The contract under test is the one both consumers (the parallel fuzz
+driver and the compilation service) rely on: results come back in
+submission order whatever the completion order, worker-function
+exceptions become structured error outcomes instead of batch failures,
+and inline (``jobs <= 1``) and pooled execution are observationally
+identical.
+"""
+
+import os
+
+import pytest
+
+from repro.jobs import TaskOutcome, WorkerPool, run_ordered
+
+
+def square(task):
+    return task * task
+
+
+def picky(task):
+    if task % 3 == 0:
+        raise ValueError(f"refusing {task}")
+    return -task
+
+
+def tag_pid(task):
+    return (task, os.getpid())
+
+
+class TestInlineExecution:
+    def test_results_in_submission_order(self):
+        outcomes = run_ordered(square, [3, 1, 4, 1, 5], jobs=1)
+        assert [o.index for o in outcomes] == [0, 1, 2, 3, 4]
+        assert [o.value for o in outcomes] == [9, 1, 16, 1, 25]
+        assert all(o.ok for o in outcomes)
+
+    def test_jobs_zero_is_inline(self):
+        pool = WorkerPool(0)
+        assert not pool.parallel
+        assert [o.value for o in pool.map_ordered(square, [2])] == [4]
+
+    def test_empty_task_list(self):
+        assert run_ordered(square, [], jobs=4) == []
+
+    def test_single_task_never_spawns_a_pool(self):
+        with WorkerPool(8) as pool:
+            outcomes = pool.map_ordered(square, [6])
+            assert pool._pool is None  # inline fast path
+        assert outcomes[0].value == 36
+
+    def test_error_becomes_structured_outcome(self):
+        outcomes = run_ordered(picky, [1, 3, 2], jobs=1)
+        assert [o.ok for o in outcomes] == [True, False, True]
+        failed = outcomes[1]
+        assert failed.value is None
+        assert failed.error["type"] == "ValueError"
+        assert failed.error["message"] == "refusing 3"
+        assert "picky" in failed.error["traceback"]
+
+    def test_outcome_carries_wall_seconds(self):
+        outcome = run_ordered(square, [7], jobs=1)[0]
+        assert outcome.seconds >= 0.0
+
+
+class TestPooledExecution:
+    def test_results_in_submission_order(self):
+        tasks = list(range(12))
+        outcomes = run_ordered(square, tasks, jobs=3)
+        assert [o.index for o in outcomes] == tasks
+        assert [o.value for o in outcomes] == [t * t for t in tasks]
+
+    def test_matches_inline_results(self):
+        tasks = [5, 0, 9, 2, 3, 3, 8]
+        inline = run_ordered(picky, tasks, jobs=1)
+        pooled = run_ordered(picky, tasks, jobs=3)
+        assert [(o.index, o.value, o.ok) for o in inline] == \
+            [(o.index, o.value, o.ok) for o in pooled]
+
+    def test_errors_do_not_poison_the_batch(self):
+        outcomes = run_ordered(picky, [3, 6, 9, 1], jobs=2)
+        assert [o.ok for o in outcomes] == [False, False, False, True]
+        assert outcomes[3].value == -1
+
+    def test_work_spreads_across_processes(self):
+        outcomes = run_ordered(tag_pid, list(range(8)), jobs=2)
+        pids = {o.value[1] for o in outcomes}
+        assert os.getpid() not in pids  # really ran in workers
+        assert 1 <= len(pids) <= 2
+
+    def test_pool_is_reused_across_batches(self):
+        with WorkerPool(2) as pool:
+            first = pool.map_ordered(square, [1, 2, 3])
+            handle = pool._pool
+            assert handle is not None
+            second = pool.map_ordered(square, [4, 5, 6])
+            assert pool._pool is handle
+        assert pool._pool is None  # close() tears it down
+        assert [o.value for o in first + second] == \
+            [1, 4, 9, 16, 25, 36]
+
+    def test_on_complete_sees_every_outcome_once(self):
+        seen = []
+        outcomes = run_ordered(square, list(range(10)), jobs=3,
+                               on_complete=seen.append)
+        assert sorted(o.index for o in seen) == list(range(10))
+        assert all(isinstance(o, TaskOutcome) for o in seen)
+        # Completion order may differ from submission order, but the
+        # returned list never does.
+        assert [o.index for o in outcomes] == list(range(10))

@@ -305,7 +305,7 @@ class TestCommittedBaselines:
 
     def test_baselines_present_and_versioned(self, regress):
         docs = regress.load_benches(regress.BASELINE_DIR)
-        assert len(docs) == 17
+        assert len(docs) == 18
         for name, doc in docs.items():
             assert doc["schema"] == regress.BENCH_SCHEMA
             assert doc["variants"], name
@@ -359,6 +359,20 @@ class TestCommittedBaselines:
             assert speedup >= 2.0, (workload, speedup)
             assert variants[workload]["host_bytecode_steps_per_sec"] \
                 > variants[workload]["host_compiled_steps_per_sec"]
+
+    def test_service_cache_recorded(self, regress):
+        # The E18 acceptance criterion: warm-cache throughput >=5x
+        # the cold path over the fuzz corpus, with the deterministic
+        # cache counters gated and the wall-clock ratio riding along
+        # as ungated host telemetry.
+        docs = regress.load_benches(regress.BASELINE_DIR)
+        corpus = docs["e18_service"]["variants"]["corpus"]
+        assert corpus["host_warm_x_cold"] >= 5.0
+        assert corpus["requests"] > 0
+        assert corpus["catalog_builds"] <= corpus["requests"]
+        assert corpus["artifact_hits"] > 0
+        assert corpus["cli_report_matches"] == \
+            corpus["ok_responses"]
 
     def test_ifconvert_speedups_recorded(self, regress):
         # The E16 acceptance criterion: both formerly control-flow-

@@ -68,7 +68,7 @@ class TestRegistry:
         emitted = {schemas.REPORT, schemas.BENCH, schemas.FUZZ,
                    schemas.BISECT, schemas.EVENTS, schemas.TRACE,
                    schemas.DEPGRAPH, schemas.ATTRIB,
-                   schemas.REPORTDIFF}
+                   schemas.REPORTDIFF, schemas.SERVICE}
         assert emitted == set(REGISTERED)
         for tag in emitted:
             assert validate_document(minimal_doc(tag)) == tag
